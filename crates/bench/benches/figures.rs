@@ -1,0 +1,207 @@
+//! Criterion benches, one per paper artifact (`cargo bench -- fig7`).
+//!
+//! Each bench runs the *characteristic configuration(s)* of its
+//! table/figure on one workload at reduced scale, so `cargo bench`
+//! both regenerates the experiment's shape quickly and tracks simulator
+//! performance regressions. The full sweeps (all configurations × the
+//! 10-workload suite) live in the `fdip-experiments` binary of
+//! `fdip-harness`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdip_bpred::{GshareConfig, HistoryPolicy, TageConfig};
+use fdip_prefetch::PrefetcherKind;
+use fdip_program::workload::{Workload, WorkloadFamily};
+use fdip_program::Program;
+use fdip_sim::{run_workload, CoreConfig, DirectionConfig};
+use std::sync::OnceLock;
+
+const WARMUP: u64 = 5_000;
+const MEASURE: u64 = 20_000;
+
+fn server() -> &'static Program {
+    static P: OnceLock<Program> = OnceLock::new();
+    P.get_or_init(|| Workload::family_default("server_a", WorkloadFamily::Server, 101).build())
+}
+
+fn bench_configs(c: &mut Criterion, group: &str, configs: &[(&str, CoreConfig)]) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for (name, cfg) in configs {
+        g.bench_function(*name, |b| {
+            b.iter(|| run_workload(cfg, server(), WARMUP, MEASURE));
+        });
+    }
+    g.finish();
+}
+
+fn fig1(c: &mut Criterion) {
+    bench_configs(
+        c,
+        "fig1_limit_study",
+        &[
+            ("baseline", CoreConfig::no_fdp()),
+            ("fdp_192instr_ftq", CoreConfig::fdp()),
+            (
+                "perfect_prefetch",
+                CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Perfect),
+            ),
+        ],
+    );
+}
+
+fn tab3(c: &mut Criterion) {
+    // Table III is a pure computation; benched for completeness.
+    c.bench_function("tab3_ftq_overhead", |b| {
+        b.iter(|| fdip_sim::ftq_overhead_bytes(std::hint::black_box(24)))
+    });
+}
+
+fn fig6(c: &mut Criterion) {
+    bench_configs(
+        c,
+        "fig6_prefetchers",
+        &[
+            (
+                "eip128_no_fdp",
+                CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Eip128),
+            ),
+            (
+                "eip128_fdp",
+                CoreConfig::fdp().with_prefetcher(PrefetcherKind::Eip128),
+            ),
+        ],
+    );
+}
+
+fn fig7(c: &mut Criterion) {
+    bench_configs(
+        c,
+        "fig7_pfc_btb",
+        &[
+            ("btb1k_pfc_off", CoreConfig::fdp().with_btb_entries(1024).with_pfc(false)),
+            ("btb1k_pfc_on", CoreConfig::fdp().with_btb_entries(1024).with_pfc(true)),
+        ],
+    );
+}
+
+fn fig8(c: &mut Criterion) {
+    bench_configs(
+        c,
+        "fig8_history",
+        &[
+            ("thr", CoreConfig::fdp().with_policy(HistoryPolicy::Thr)),
+            ("ghr3", CoreConfig::fdp().with_policy(HistoryPolicy::Ghr3)),
+        ],
+    );
+}
+
+fn fig9(c: &mut Criterion) {
+    bench_configs(
+        c,
+        "fig9_iso_budget",
+        &[
+            ("btb8k", CoreConfig::fdp().with_btb_entries(8192)),
+            (
+                "btb4k_eip27",
+                CoreConfig::fdp()
+                    .with_btb_entries(4096)
+                    .with_prefetcher(PrefetcherKind::Eip27),
+            ),
+        ],
+    );
+}
+
+fn fig10(c: &mut Criterion) {
+    bench_configs(
+        c,
+        "fig10_btb_prefetch",
+        &[
+            (
+                "sn4l_dis",
+                CoreConfig::fdp()
+                    .with_btb_entries(2048)
+                    .with_prefetcher(PrefetcherKind::SnfourlDis),
+            ),
+            (
+                "sn4l_dis_btb",
+                CoreConfig::fdp()
+                    .with_btb_entries(2048)
+                    .with_prefetcher(PrefetcherKind::SnfourlDisBtb),
+            ),
+        ],
+    );
+}
+
+fn fig11(c: &mut Criterion) {
+    bench_configs(
+        c,
+        "fig11_btb_capacity",
+        &[
+            ("btb1k_fdp", CoreConfig::fdp().with_btb_entries(1024)),
+            ("btb32k_fdp", CoreConfig::fdp().with_btb_entries(32 * 1024)),
+        ],
+    );
+}
+
+fn fig12(c: &mut Criterion) {
+    bench_configs(
+        c,
+        "fig12_direction",
+        &[
+            (
+                "gshare8k",
+                CoreConfig {
+                    direction: DirectionConfig::Gshare(GshareConfig::default()),
+                    ..CoreConfig::fdp()
+                },
+            ),
+            (
+                "tage36k",
+                CoreConfig {
+                    direction: DirectionConfig::Tage(TageConfig::kb36()),
+                    ..CoreConfig::fdp()
+                },
+            ),
+        ],
+    );
+}
+
+fn fig13(c: &mut Criterion) {
+    bench_configs(
+        c,
+        "fig13_bandwidth",
+        &[
+            (
+                "b6",
+                CoreConfig {
+                    pred_bw: 6,
+                    ..CoreConfig::fdp()
+                },
+            ),
+            (
+                "b18m",
+                CoreConfig {
+                    pred_bw: 18,
+                    multi_taken: true,
+                    ..CoreConfig::fdp()
+                },
+            ),
+        ],
+    );
+}
+
+fn fig14(c: &mut Criterion) {
+    bench_configs(
+        c,
+        "fig14_ftq_size",
+        &[
+            ("ftq2", CoreConfig::fdp().with_ftq(2)),
+            ("ftq24", CoreConfig::fdp().with_ftq(24)),
+        ],
+    );
+}
+
+criterion_group!(
+    figures, fig1, tab3, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14
+);
+criterion_main!(figures);

@@ -1,0 +1,48 @@
+//! Ablation bench for the design choices DESIGN.md §7 calls out:
+//! post-fetch correction, history policy, and functional warm-up,
+//! each toggled independently on the same workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdip_bpred::HistoryPolicy;
+use fdip_program::workload::{Workload, WorkloadFamily};
+use fdip_program::Program;
+use fdip_sim::{run_workload, CoreConfig};
+use std::sync::OnceLock;
+
+const WARMUP: u64 = 5_000;
+const MEASURE: u64 = 20_000;
+
+fn server() -> &'static Program {
+    static P: OnceLock<Program> = OnceLock::new();
+    P.get_or_init(|| Workload::family_default("server_a", WorkloadFamily::Server, 101).build())
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    let small_btb = CoreConfig::fdp().with_btb_entries(1024);
+    let cases: Vec<(&str, CoreConfig)> = vec![
+        ("full_design", small_btb.clone()),
+        ("no_pfc", small_btb.clone().with_pfc(false)),
+        ("ghr_history", small_btb.clone().with_policy(HistoryPolicy::Ghr3)),
+        ("cold_btb", {
+            let mut c = small_btb.clone();
+            c.func_warmup = 0;
+            c
+        }),
+        ("loop_predictor", {
+            let mut c = small_btb.clone();
+            c.loop_predictor = true;
+            c
+        }),
+    ];
+    for (name, cfg) in &cases {
+        g.bench_function(*name, |b| {
+            b.iter(|| run_workload(cfg, server(), WARMUP, MEASURE));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

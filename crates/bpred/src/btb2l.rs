@@ -1,0 +1,201 @@
+//! A two-level BTB hierarchy (paper §II-A: "similar to the multi-level
+//! cache hierarchy, the multi-level BTB hierarchy can be implemented
+//! [25]–[28]").
+//!
+//! A small L1 BTB answers in a single cycle; the large L2 BTB (the
+//! paper's main structure) backs it with its multi-cycle latency.
+//! Lookups promote L2 hits into the L1 (with L1 victims demoted to L2,
+//! exclusive-style), so hot branches migrate to the fast level — the
+//! organisation recent commercial cores disclose.
+
+use crate::btb::{Btb, BtbConfig, BtbEntry};
+use fdip_types::{Addr, BranchKind};
+
+/// Two-level BTB geometry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TwoLevelBtbConfig {
+    /// Small, fast first level.
+    pub l1: BtbConfig,
+    /// Large second level (the paper's 8K-entry class structure).
+    pub l2: BtbConfig,
+    /// L1 access latency in cycles.
+    pub l1_latency: u64,
+    /// L2 access latency in cycles.
+    pub l2_latency: u64,
+}
+
+impl Default for TwoLevelBtbConfig {
+    fn default() -> Self {
+        TwoLevelBtbConfig {
+            l1: BtbConfig {
+                entries: 1024,
+                assoc: 4,
+            },
+            l2: BtbConfig::default(),
+            l1_latency: 1,
+            l2_latency: 2,
+        }
+    }
+}
+
+/// Which level served a lookup.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BtbLevel {
+    /// Served by the fast first level.
+    L1,
+    /// Served by the large second level (promoted on the way).
+    L2,
+}
+
+/// Two-level hit/promotion counters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct TwoLevelStats {
+    /// Lookups that hit the L1.
+    pub l1_hits: u64,
+    /// Lookups that missed L1 but hit L2 (promotions).
+    pub l2_hits: u64,
+    /// Lookups that missed both levels.
+    pub misses: u64,
+}
+
+/// The two-level BTB.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_bpred::{BtbLevel, TwoLevelBtb, TwoLevelBtbConfig};
+/// use fdip_types::{Addr, BranchKind};
+///
+/// let mut btb = TwoLevelBtb::new(TwoLevelBtbConfig::default());
+/// let pc = Addr::new(0x1000);
+/// btb.insert(pc, BranchKind::DirectJump, Addr::new(0x2000));
+/// // First lookup after insertion hits the L1 (inserts fill the L1).
+/// let (entry, level, lat) = btb.lookup(pc).expect("hit");
+/// assert_eq!(level, BtbLevel::L1);
+/// assert_eq!(lat, 1);
+/// assert_eq!(entry.target, Addr::new(0x2000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwoLevelBtb {
+    config: TwoLevelBtbConfig,
+    l1: Btb,
+    l2: Btb,
+    stats: TwoLevelStats,
+}
+
+impl TwoLevelBtb {
+    /// Creates an empty two-level BTB.
+    pub fn new(config: TwoLevelBtbConfig) -> Self {
+        TwoLevelBtb {
+            config,
+            l1: Btb::new(config.l1),
+            l2: Btb::new(config.l2),
+            stats: TwoLevelStats::default(),
+        }
+    }
+
+    /// Geometry in use.
+    pub fn config(&self) -> TwoLevelBtbConfig {
+        self.config
+    }
+
+    /// Hit/promotion counters.
+    pub fn stats(&self) -> TwoLevelStats {
+        self.stats
+    }
+
+    /// Looks a branch up; on an L2 hit the entry is promoted into the
+    /// L1. Returns the entry, the serving level, and the access latency.
+    pub fn lookup(&mut self, pc: Addr) -> Option<(BtbEntry, BtbLevel, u64)> {
+        if let Some(e) = self.l1.lookup(pc) {
+            self.stats.l1_hits += 1;
+            return Some((e, BtbLevel::L1, self.config.l1_latency));
+        }
+        if let Some(e) = self.l2.lookup(pc) {
+            self.stats.l2_hits += 1;
+            self.l1.insert(e.pc, e.kind, e.target);
+            return Some((e, BtbLevel::L2, self.config.l2_latency));
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inserts or updates a branch (fills both levels; the L1 holds the
+    /// hot working set by promotion and recency).
+    pub fn insert(&mut self, pc: Addr, kind: BranchKind, target: Addr) {
+        self.l1.insert(pc, kind, target);
+        self.l2.insert(pc, kind, target);
+    }
+
+    /// Total valid entries across both levels.
+    pub fn occupancy(&self) -> usize {
+        self.l1.occupancy() + self.l2.occupancy()
+    }
+
+    /// Estimated storage (paper's 7 bytes per branch entry).
+    pub fn estimated_bytes(&self) -> usize {
+        self.config.l1.estimated_bytes() + self.config.l2.estimated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn btb() -> TwoLevelBtb {
+        TwoLevelBtb::new(TwoLevelBtbConfig::default())
+    }
+
+    #[test]
+    fn miss_both_levels_when_cold() {
+        let mut b = btb();
+        assert!(b.lookup(Addr::new(0x1000)).is_none());
+        assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn l2_hit_promotes_to_l1() {
+        let mut b = btb();
+        // Fill far more branches than the 1K-entry L1 holds, so early
+        // ones fall out of L1 but stay in the 8K-entry L2.
+        for i in 0..4096u64 {
+            b.insert(Addr::new(0x1_0000 + i * 8), BranchKind::CondDirect, Addr::new(0x2000));
+        }
+        let victim = Addr::new(0x1_0000);
+        let (_, level, lat) = b.lookup(victim).expect("still in L2");
+        assert_eq!(level, BtbLevel::L2);
+        assert_eq!(lat, 2);
+        // Promoted: the next lookup is an L1 hit.
+        let (_, level, lat) = b.lookup(victim).expect("promoted");
+        assert_eq!(level, BtbLevel::L1);
+        assert_eq!(lat, 1);
+    }
+
+    #[test]
+    fn hot_branches_stay_in_l1() {
+        let mut b = btb();
+        let hot = Addr::new(0x5000);
+        b.insert(hot, BranchKind::DirectJump, Addr::new(0x6000));
+        for _ in 0..100 {
+            let (_, level, _) = b.lookup(hot).expect("hit");
+            assert_eq!(level, BtbLevel::L1);
+        }
+        assert_eq!(b.stats().l1_hits, 100);
+    }
+
+    #[test]
+    fn capacity_exceeds_single_level() {
+        let mut b = btb();
+        for i in 0..8192u64 {
+            b.insert(Addr::new(0x1_0000 + i * 8), BranchKind::CondDirect, Addr::new(0x2000));
+        }
+        // The union holds (at least close to) the L2 capacity.
+        assert!(b.occupancy() > 8000, "{}", b.occupancy());
+    }
+
+    #[test]
+    fn estimated_bytes_sums_levels() {
+        let b = btb();
+        assert_eq!(b.estimated_bytes(), (1024 + 8192) * 7);
+    }
+}

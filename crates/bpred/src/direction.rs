@@ -1,0 +1,298 @@
+//! Direction-predictor front door: bimodal and Gshare baselines, plus the
+//! [`DirectionPredictor`] enum the simulator dispatches through (TAGE,
+//! Gshare, bimodal, or a perfect oracle — the Fig. 12 sweep).
+
+use crate::fold::FoldedHistories;
+use crate::history::GlobalHistory;
+use crate::tage::{Tage, TagePrediction};
+use fdip_types::Addr;
+
+/// A PC-indexed table of 2-bit saturating counters.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_bpred::Bimodal;
+/// use fdip_types::Addr;
+///
+/// let mut b = Bimodal::new(12);
+/// let pc = Addr::new(0x400);
+/// for _ in 0..4 { b.update(pc, true); }
+/// assert!(b.predict(pc));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    counters: Vec<u8>,
+    mask: usize,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `2^log2_entries` counters.
+    pub fn new(log2_entries: u32) -> Self {
+        Bimodal {
+            counters: vec![2; 1 << log2_entries],
+            mask: (1 << log2_entries) - 1,
+        }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        ((pc.raw() >> 2) as usize) & self.mask
+    }
+
+    /// Predicted direction of the branch at `pc`.
+    pub fn predict(&self, pc: Addr) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Trains with the resolved outcome.
+    pub fn update(&mut self, pc: Addr, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.counters[i];
+        *c = (*c as i8 + if taken { 1 } else { -1 }).clamp(0, 3) as u8;
+    }
+
+    /// Storage in bytes (2 bits per counter).
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len() / 4
+    }
+}
+
+/// Gshare geometry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct GshareConfig {
+    /// log2 of the counter-table size.
+    pub table_log2: u32,
+    /// History bits XOR-ed into the index.
+    pub hist_bits: u32,
+}
+
+impl Default for GshareConfig {
+    /// The paper's Fig. 12 point: 8KB (32K 2-bit counters), 15-bit
+    /// idealized direction history.
+    fn default() -> Self {
+        GshareConfig {
+            table_log2: 15,
+            hist_bits: 15,
+        }
+    }
+}
+
+/// McFarling Gshare: PC XOR global-direction-history indexed 2-bit
+/// counters.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    config: GshareConfig,
+    counters: Vec<u8>,
+}
+
+impl Gshare {
+    /// Creates a Gshare predictor.
+    pub fn new(config: GshareConfig) -> Self {
+        Gshare {
+            config,
+            counters: vec![2; 1 << config.table_log2],
+        }
+    }
+
+    fn index(&self, pc: Addr, hist: &GlobalHistory) -> usize {
+        let h = hist.recent(self.config.hist_bits);
+        let x = (pc.raw() >> 2) ^ h ^ (h << 3);
+        (x as usize) & ((1 << self.config.table_log2) - 1)
+    }
+
+    /// Predicted direction given the (direction) history.
+    pub fn predict(&self, pc: Addr, hist: &GlobalHistory) -> bool {
+        self.counters[self.index(pc, hist)] >= 2
+    }
+
+    /// Trains with the resolved outcome and the history the branch was
+    /// predicted with.
+    pub fn update(&mut self, pc: Addr, hist: &GlobalHistory, taken: bool) {
+        let i = self.index(pc, hist);
+        let c = &mut self.counters[i];
+        *c = (*c as i8 + if taken { 1 } else { -1 }).clamp(0, 3) as u8;
+    }
+
+    /// Storage in bytes (2 bits per counter).
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len() / 4
+    }
+}
+
+/// The conditional direction predictor the frontend is configured with
+/// (paper Fig. 12 sweeps all of these).
+#[derive(Clone, Debug)]
+pub enum DirectionPredictor {
+    /// TAGE (the baseline).
+    Tage(Tage),
+    /// Gshare with idealized direction history.
+    Gshare(Gshare),
+    /// Bimodal (used in unit tests and as a simple baseline).
+    Bimodal(Bimodal),
+    /// Perfect direction oracle: always right on the committed path.
+    Perfect,
+}
+
+impl DirectionPredictor {
+    /// Predicts the direction of a conditional branch at `pc`.
+    ///
+    /// * `folds` — speculative folded histories (used by TAGE).
+    /// * `dir_hist` — speculative idealized direction history (used by
+    ///   Gshare).
+    /// * `oracle` — the committed-path outcome when the frontend is on
+    ///   the correct path (used by `Perfect`; `None` on the wrong path).
+    ///
+    /// Returns the prediction plus the TAGE metadata needed at update.
+    pub fn predict(
+        &self,
+        pc: Addr,
+        folds: &FoldedHistories,
+        dir_hist: &GlobalHistory,
+        oracle: Option<bool>,
+    ) -> TagePrediction {
+        match self {
+            DirectionPredictor::Tage(t) => t.predict(pc, folds),
+            DirectionPredictor::Gshare(g) => TagePrediction {
+                taken: g.predict(pc, dir_hist),
+                ..TagePrediction::default()
+            },
+            DirectionPredictor::Bimodal(b) => TagePrediction {
+                taken: b.predict(pc),
+                ..TagePrediction::default()
+            },
+            DirectionPredictor::Perfect => TagePrediction {
+                taken: oracle.unwrap_or(false),
+                ..TagePrediction::default()
+            },
+        }
+    }
+
+    /// Trains with the resolved outcome; `folds`/`dir_hist` are the
+    /// speculative values the branch was predicted with (checkpointed by
+    /// the simulator), `pred` the value returned by
+    /// [`DirectionPredictor::predict`].
+    pub fn update(
+        &mut self,
+        pc: Addr,
+        folds: &FoldedHistories,
+        dir_hist: &GlobalHistory,
+        taken: bool,
+        pred: TagePrediction,
+    ) {
+        match self {
+            DirectionPredictor::Tage(t) => t.update(pc, folds, taken, pred),
+            DirectionPredictor::Gshare(g) => g.update(pc, dir_hist, taken),
+            DirectionPredictor::Bimodal(b) => b.update(pc, taken),
+            DirectionPredictor::Perfect => {}
+        }
+    }
+
+    /// Storage in bytes (0 for the oracle).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            DirectionPredictor::Tage(t) => t.size_bytes(),
+            DirectionPredictor::Gshare(g) => g.size_bytes(),
+            DirectionPredictor::Bimodal(b) => b.size_bytes(),
+            DirectionPredictor::Perfect => 0,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            DirectionPredictor::Tage(t) => {
+                format!("TAGE-{}KB", (t.size_bytes() + 512) / 1024)
+            }
+            DirectionPredictor::Gshare(g) => {
+                format!("Gshare-{}KB", (g.size_bytes() + 512) / 1024)
+            }
+            DirectionPredictor::Bimodal(b) => {
+                format!("Bimodal-{}KB", (b.size_bytes() + 512) / 1024)
+            }
+            DirectionPredictor::Perfect => "PerfectDir".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::FoldPlan;
+    use crate::tage::TageConfig;
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut b = Bimodal::new(10);
+        let pc = Addr::new(0x1000);
+        for _ in 0..10 {
+            b.update(pc, false);
+        }
+        assert!(!b.predict(pc));
+        for _ in 0..10 {
+            b.update(pc, true);
+        }
+        assert!(b.predict(pc));
+    }
+
+    #[test]
+    fn bimodal_size() {
+        assert_eq!(Bimodal::new(12).size_bytes(), 1024);
+    }
+
+    #[test]
+    fn gshare_default_is_8kb() {
+        let g = Gshare::new(GshareConfig::default());
+        assert_eq!(g.size_bytes(), 8 * 1024);
+    }
+
+    #[test]
+    fn gshare_learns_history_correlation() {
+        let mut g = Gshare::new(GshareConfig::default());
+        let pc = Addr::new(0x1000);
+        let mut h1 = GlobalHistory::new();
+        h1.push_direction(true);
+        let h0 = GlobalHistory::new();
+        for _ in 0..20 {
+            g.update(pc, &h1, true);
+            g.update(pc, &h0, false);
+        }
+        assert!(g.predict(pc, &h1));
+        assert!(!g.predict(pc, &h0));
+    }
+
+    #[test]
+    fn perfect_follows_oracle() {
+        let p = DirectionPredictor::Perfect;
+        let folds = FoldPlan::new().initial();
+        let h = GlobalHistory::new();
+        let pc = Addr::new(0x1000);
+        assert!(p.predict(pc, &folds, &h, Some(true)).taken);
+        assert!(!p.predict(pc, &folds, &h, Some(false)).taken);
+        // Off the committed path there is no oracle: predict not-taken.
+        assert!(!p.predict(pc, &folds, &h, None).taken);
+    }
+
+    #[test]
+    fn enum_dispatch_trains_tage() {
+        let mut plan = FoldPlan::new();
+        let mut d = DirectionPredictor::Tage(Tage::new(TageConfig::kb9(), &mut plan));
+        let folds = plan.initial();
+        let h = GlobalHistory::new();
+        let pc = Addr::new(0x1000);
+        for _ in 0..64 {
+            let pred = d.predict(pc, &folds, &h, None);
+            d.update(pc, &folds, &h, true, pred);
+        }
+        assert!(d.predict(pc, &folds, &h, None).taken);
+    }
+
+    #[test]
+    fn labels_mention_size_class() {
+        let g = DirectionPredictor::Gshare(Gshare::new(GshareConfig::default()));
+        assert_eq!(g.label(), "Gshare-8KB");
+        assert_eq!(DirectionPredictor::Perfect.label(), "PerfectDir");
+        let mut plan = FoldPlan::new();
+        let t = DirectionPredictor::Tage(Tage::new(TageConfig::kb18(), &mut plan));
+        assert!(t.label().starts_with("TAGE-"));
+    }
+}

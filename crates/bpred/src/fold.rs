@@ -1,0 +1,249 @@
+//! Incrementally-maintained folded histories.
+//!
+//! TAGE and ITTAGE index their tables with the global history folded down
+//! to the table's index/tag width. Folding hundreds of bits from scratch
+//! on every prediction is too slow, so — as in real designs — folded
+//! values are maintained *incrementally*: each history push rotates the
+//! folded value and patches in the entering and leaving bits.
+//!
+//! A [`FoldPlan`] is the immutable recipe (which `(length, width)` pairs
+//! exist); a [`FoldedHistories`] is the current speculative value of every
+//! fold. `FoldedHistories` is `Copy`, so the simulator checkpoints it
+//! together with the raw [`GlobalHistory`].
+//!
+//! `FoldPlan::recompute` derives the folds from scratch and is used by
+//! property tests to prove the incremental update equivalent.
+
+use crate::history::GlobalHistory;
+
+/// Maximum number of fold slots a plan may hold (TAGE uses up to
+/// 3×16, ITTAGE 2×8).
+pub const MAX_FOLDS: usize = 64;
+
+/// One fold recipe: the most recent `len` history bits folded to
+/// `out` bits.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FoldSpec {
+    /// History length in bits (1..=HISTORY_BITS).
+    pub len: u32,
+    /// Output width in bits (1..=31).
+    pub out: u32,
+}
+
+/// The set of folds a frontend maintains (immutable after setup).
+#[derive(Clone, Debug, Default)]
+pub struct FoldPlan {
+    specs: Vec<FoldSpec>,
+}
+
+/// Current values of every fold in a [`FoldPlan`].
+///
+/// Plain `Copy` data for cheap speculative checkpointing.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FoldedHistories {
+    vals: [u32; MAX_FOLDS],
+    n: usize,
+}
+
+impl Default for FoldedHistories {
+    fn default() -> Self {
+        FoldedHistories {
+            vals: [0; MAX_FOLDS],
+            n: 0,
+        }
+    }
+}
+
+impl FoldedHistories {
+    /// Value of fold slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn get(&self, slot: usize) -> u32 {
+        assert!(slot < self.n, "fold slot {slot} out of range {}", self.n);
+        self.vals[slot]
+    }
+}
+
+impl FoldPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FoldPlan::default()
+    }
+
+    /// Registers a fold and returns its slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is full or the spec is out of range.
+    pub fn register(&mut self, len: u32, out: u32) -> usize {
+        assert!(self.specs.len() < MAX_FOLDS, "fold plan full");
+        assert!(len >= 1 && (len as usize) <= crate::history::HISTORY_BITS);
+        assert!((1..=31).contains(&out));
+        self.specs.push(FoldSpec { len, out });
+        self.specs.len() - 1
+    }
+
+    /// Number of registered folds.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Returns `true` if no folds are registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Initial (all-zero-history) fold values.
+    pub fn initial(&self) -> FoldedHistories {
+        FoldedHistories {
+            vals: [0; MAX_FOLDS],
+            n: self.specs.len(),
+        }
+    }
+
+    /// Applies one history push to every fold.
+    ///
+    /// Must be called with the history value *before* the corresponding
+    /// [`GlobalHistory::push_bits`] call, with the same `inject`/`k`.
+    ///
+    /// Semantics of a push (matching `GlobalHistory::push_bits`): the
+    /// history shifts left by `k` bits and `inject` is XOR-ed into the low
+    /// bits (inject may be wider than `k`).
+    pub fn push(
+        &self,
+        folds: &mut FoldedHistories,
+        before: &GlobalHistory,
+        inject: u64,
+        k: u32,
+    ) {
+        debug_assert_eq!(folds.n, self.specs.len());
+        for (slot, spec) in self.specs.iter().enumerate() {
+            let out = spec.out;
+            let mask = (1u32 << out) - 1;
+            let mut v = folds.vals[slot];
+            // Remove the bits that will leave the window: positions
+            // len-k .. len-1 move to >= len after the shift.
+            for j in 0..k {
+                let pos = spec.len - k + j;
+                if before.bit(pos) {
+                    v ^= 1 << (pos % out);
+                }
+            }
+            // Rotate left by k within `out` bits (history positions all
+            // grow by k).
+            v = ((v << k) | (v >> (out - k))) & mask;
+            // XOR in the injected value, itself chunk-folded to `out`
+            // bits (it lands at history positions 0..width). Bits of the
+            // injection beyond this fold's window length are older than
+            // the window and never contribute.
+            let mut inj = if spec.len < 64 {
+                inject & ((1u64 << spec.len) - 1)
+            } else {
+                inject
+            };
+            while inj != 0 {
+                v ^= (inj as u32) & mask;
+                inj >>= out;
+            }
+            folds.vals[slot] = v;
+        }
+    }
+
+    /// Recomputes every fold from scratch (reference implementation for
+    /// tests and for rebuilding state).
+    pub fn recompute(&self, hist: &GlobalHistory) -> FoldedHistories {
+        let mut f = self.initial();
+        for (slot, spec) in self.specs.iter().enumerate() {
+            f.vals[slot] = hist.fold(spec.len, spec.out) as u32;
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_types::Addr;
+
+    fn plan() -> FoldPlan {
+        let mut p = FoldPlan::new();
+        for (len, out) in [(4, 9), (10, 9), (37, 11), (64, 11), (130, 12), (260, 10), (9, 9)] {
+            p.register(len, out);
+        }
+        p
+    }
+
+    #[test]
+    fn register_returns_slots_in_order() {
+        let mut p = FoldPlan::new();
+        assert_eq!(p.register(10, 9), 0);
+        assert_eq!(p.register(20, 9), 1);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn initial_matches_recompute_of_empty() {
+        let p = plan();
+        let h = GlobalHistory::new();
+        assert_eq!(p.initial(), p.recompute(&h));
+    }
+
+    #[test]
+    fn incremental_direction_pushes_match_recompute() {
+        let p = plan();
+        let mut h = GlobalHistory::new();
+        let mut f = p.initial();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for i in 0..600 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bit = (x >> 62) & 1;
+            p.push(&mut f, &h, bit, 1);
+            h.push_bits(bit, 1);
+            if i % 37 == 0 {
+                assert_eq!(f, p.recompute(&h), "diverged at push {i}");
+            }
+        }
+        assert_eq!(f, p.recompute(&h));
+    }
+
+    #[test]
+    fn incremental_target_pushes_match_recompute() {
+        let p = plan();
+        let mut h = GlobalHistory::new();
+        let mut f = p.initial();
+        for i in 0u64..500 {
+            let hash =
+                GlobalHistory::target_hash(Addr::new(0x1000 + i * 4), Addr::new(0x9000 + i * 52));
+            p.push(&mut f, &h, hash, 2);
+            h.push_bits(hash, 2);
+            if i % 29 == 0 {
+                assert_eq!(f, p.recompute(&h), "diverged at push {i}");
+            }
+        }
+        assert_eq!(f, p.recompute(&h));
+    }
+
+    #[test]
+    fn mixed_push_widths_match_recompute() {
+        let p = plan();
+        let mut h = GlobalHistory::new();
+        let mut f = p.initial();
+        for i in 0u64..400 {
+            let (inject, k) = if i % 3 == 0 { (1u64, 1) } else { (0xbeef ^ i, 2) };
+            p.push(&mut f, &h, inject, k);
+            h.push_bits(inject, k);
+        }
+        assert_eq!(f, p.recompute(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let p = FoldPlan::new();
+        let f = p.initial();
+        let _ = f.get(0);
+    }
+}

@@ -1,0 +1,262 @@
+//! A loop predictor (paper §II-A: "Loop predictors also exist to
+//! identify loops with their loop iteration counts"), in the style of
+//! the loop component of Seznec's TAGE-L.
+//!
+//! Each entry tracks a conditional branch's iteration count; once the
+//! same trip count is confirmed several times, the predictor overrides
+//! the direction predictor with perfect exit timing — something global
+//! history can only do when the trip count fits in the history window.
+
+use fdip_types::Addr;
+
+/// Loop-predictor geometry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct LoopPredictorConfig {
+    /// log2 table entries.
+    pub entries_log2: u32,
+    /// Confirmations of the same trip count required before the
+    /// prediction is used.
+    pub confidence_threshold: u8,
+    /// Maximum trackable trip count.
+    pub max_trip: u16,
+}
+
+impl Default for LoopPredictorConfig {
+    fn default() -> Self {
+        LoopPredictorConfig {
+            entries_log2: 7,
+            confidence_threshold: 3,
+            max_trip: 1024,
+        }
+    }
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct LoopEntry {
+    tag: u16,
+    /// Learned iteration count (taken `trip - 1` times, then not taken).
+    trip: u16,
+    /// Speculative iteration counter (prediction side).
+    spec_iter: u16,
+    /// Architectural iteration counter (training side).
+    arch_iter: u16,
+    /// Same-trip confirmations.
+    confidence: u8,
+    valid: bool,
+}
+
+/// Result of a loop-predictor lookup.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct LoopPrediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Entry is confident enough to override the direction predictor.
+    pub confident: bool,
+}
+
+/// The loop predictor.
+///
+/// Prediction-side state (`spec_iter`) is speculative; the simulator
+/// calls [`LoopPredictor::flush_speculation`] on pipeline flushes, which
+/// resynchronises it with the architectural counters.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_bpred::{LoopPredictor, LoopPredictorConfig};
+/// use fdip_types::Addr;
+///
+/// let mut lp = LoopPredictor::new(LoopPredictorConfig::default());
+/// let pc = Addr::new(0x100);
+/// // Train a 5-iteration loop (taken 4x, then not-taken) a few times.
+/// for _ in 0..5 {
+///     for i in 0..5 {
+///         lp.update(pc, i < 4);
+///     }
+/// }
+/// assert!(lp.predict(pc).is_some_and(|p| p.confident));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LoopPredictor {
+    config: LoopPredictorConfig,
+    entries: Vec<LoopEntry>,
+}
+
+impl LoopPredictor {
+    /// Creates an empty loop predictor.
+    pub fn new(config: LoopPredictorConfig) -> Self {
+        LoopPredictor {
+            config,
+            entries: vec![LoopEntry::default(); 1 << config.entries_log2],
+        }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        let h = pc.raw() >> 2;
+        ((h ^ (h >> self.config.entries_log2 as u64)) as usize)
+            & ((1 << self.config.entries_log2) - 1)
+    }
+
+    fn tag(&self, pc: Addr) -> u16 {
+        ((pc.raw() >> (2 + self.config.entries_log2 as u64)) & 0xffff) as u16
+    }
+
+    /// Speculative prediction for the conditional branch at `pc`;
+    /// `None` when the branch is not being tracked. Advances the
+    /// speculative iteration counter when confident.
+    pub fn predict(&mut self, pc: Addr) -> Option<LoopPrediction> {
+        let i = self.index(pc);
+        let tag = self.tag(pc);
+        let threshold = self.config.confidence_threshold;
+        let e = &mut self.entries[i];
+        if !e.valid || e.tag != tag {
+            return None;
+        }
+        let confident = e.confidence >= threshold;
+        let taken = e.spec_iter + 1 < e.trip;
+        if confident {
+            e.spec_iter = if taken { e.spec_iter + 1 } else { 0 };
+        }
+        Some(LoopPrediction { taken, confident })
+    }
+
+    /// Trains with the resolved outcome of the conditional at `pc`.
+    pub fn update(&mut self, pc: Addr, taken: bool) {
+        let i = self.index(pc);
+        let tag = self.tag(pc);
+        let max_trip = self.config.max_trip;
+        let e = &mut self.entries[i];
+        if !e.valid || e.tag != tag {
+            // Allocate only on a not-taken outcome (a loop exit), so the
+            // counter phase starts aligned.
+            if !taken {
+                *e = LoopEntry {
+                    tag,
+                    trip: 0,
+                    spec_iter: 0,
+                    arch_iter: 0,
+                    confidence: 0,
+                    valid: true,
+                };
+            }
+            return;
+        }
+        if taken {
+            e.arch_iter = e.arch_iter.saturating_add(1);
+            if e.arch_iter > max_trip {
+                // Not a (trackable) loop.
+                e.valid = false;
+            }
+            return;
+        }
+        // Loop exit: iterations completed = arch_iter + 1.
+        let trip = e.arch_iter + 1;
+        if e.trip == trip {
+            e.confidence = e.confidence.saturating_add(1);
+        } else {
+            e.trip = trip;
+            e.confidence = 0;
+        }
+        e.arch_iter = 0;
+        e.spec_iter = 0;
+    }
+
+    /// Resynchronises speculative counters after a pipeline flush.
+    pub fn flush_speculation(&mut self) {
+        for e in &mut self.entries {
+            e.spec_iter = e.arch_iter;
+        }
+    }
+
+    /// Storage in bytes (tag 16 + trip 10 + 2×iter 10 + conf 3 + valid
+    /// ≈ 50 bits per entry).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * 50 / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_loop(lp: &mut LoopPredictor, pc: Addr, trip: usize, rounds: usize) {
+        for _ in 0..rounds {
+            for i in 0..trip {
+                lp.update(pc, i + 1 < trip);
+            }
+        }
+    }
+
+    #[test]
+    fn learns_fixed_trip_count() {
+        let mut lp = LoopPredictor::new(LoopPredictorConfig::default());
+        let pc = Addr::new(0x400);
+        train_loop(&mut lp, pc, 7, 5);
+        // Replay one full loop: 6 taken predictions then 1 not-taken.
+        for i in 0..7 {
+            let p = lp.predict(pc).expect("tracked");
+            assert!(p.confident, "iteration {i}");
+            assert_eq!(p.taken, i + 1 < 7, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn untracked_branch_returns_none() {
+        let mut lp = LoopPredictor::new(LoopPredictorConfig::default());
+        assert!(lp.predict(Addr::new(0x999)).is_none());
+    }
+
+    #[test]
+    fn changing_trip_count_resets_confidence() {
+        let mut lp = LoopPredictor::new(LoopPredictorConfig::default());
+        let pc = Addr::new(0x400);
+        train_loop(&mut lp, pc, 5, 6);
+        assert!(lp.predict(pc).unwrap().confident);
+        lp.flush_speculation();
+        // Switch to a different trip count: confidence must drop.
+        train_loop(&mut lp, pc, 9, 1);
+        lp.flush_speculation();
+        assert!(!lp.predict(pc).unwrap().confident);
+        // Re-confirm the new count.
+        train_loop(&mut lp, pc, 9, 4);
+        lp.flush_speculation();
+        assert!(lp.predict(pc).unwrap().confident);
+    }
+
+    #[test]
+    fn giant_loops_are_abandoned() {
+        let cfg = LoopPredictorConfig {
+            max_trip: 16,
+            ..LoopPredictorConfig::default()
+        };
+        let mut lp = LoopPredictor::new(cfg);
+        let pc = Addr::new(0x400);
+        // Allocate, then exceed max_trip takens.
+        lp.update(pc, false);
+        for _ in 0..40 {
+            lp.update(pc, true);
+        }
+        assert!(lp.predict(pc).is_none());
+    }
+
+    #[test]
+    fn flush_resynchronises_speculation() {
+        let mut lp = LoopPredictor::new(LoopPredictorConfig::default());
+        let pc = Addr::new(0x400);
+        train_loop(&mut lp, pc, 4, 6);
+        // Speculate half a loop, then flush: replay must restart clean.
+        lp.predict(pc);
+        lp.predict(pc);
+        lp.flush_speculation();
+        for i in 0..4 {
+            let p = lp.predict(pc).expect("tracked");
+            assert_eq!(p.taken, i + 1 < 4, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn size_is_small() {
+        let lp = LoopPredictor::new(LoopPredictorConfig::default());
+        assert!(lp.size_bytes() < 2 * 1024);
+    }
+}

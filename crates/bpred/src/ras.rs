@@ -1,0 +1,159 @@
+//! The return address stack (RAS).
+//!
+//! Calls push their return address at prediction time; returns pop. The
+//! RAS is speculative state: the simulator snapshots it into branch
+//! checkpoints and restores it on pipeline flushes, so it is a fixed-size
+//! `Copy` structure.
+
+use fdip_types::Addr;
+
+/// Maximum RAS depth. Commercial cores use 16–64 entries; generated
+/// programs bound call depth well below this.
+pub const RAS_DEPTH: usize = 64;
+
+/// A fixed-depth return address stack.
+///
+/// Overflow wraps (oldest entry is overwritten), underflow returns `None`
+/// — both matching hardware behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_bpred::Ras;
+/// use fdip_types::Addr;
+///
+/// let mut ras = Ras::new();
+/// ras.push(Addr::new(0x1004));
+/// let snapshot = ras;              // checkpoint before speculation
+/// ras.push(Addr::new(0x2008));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x2008)));
+/// let ras = snapshot;              // flush: restore
+/// assert_eq!(ras.top(), Some(Addr::new(0x1004)));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Ras {
+    stack: [Addr; RAS_DEPTH],
+    /// Number of live entries (<= RAS_DEPTH).
+    len: usize,
+    /// Index one past the most recent entry (circular).
+    top: usize,
+}
+
+impl Default for Ras {
+    fn default() -> Self {
+        Ras {
+            stack: [Addr::NULL; RAS_DEPTH],
+            len: 0,
+            top: 0,
+        }
+    }
+}
+
+impl Ras {
+    /// Creates an empty RAS.
+    pub fn new() -> Self {
+        Ras::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no return address is available.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes a return address (called for every predicted call).
+    pub fn push(&mut self, ra: Addr) {
+        self.stack[self.top] = ra;
+        self.top = (self.top + 1) % RAS_DEPTH;
+        self.len = (self.len + 1).min(RAS_DEPTH);
+    }
+
+    /// Pops the most recent return address (called for every predicted
+    /// return). Returns `None` on underflow.
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.len == 0 {
+            return None;
+        }
+        self.top = (self.top + RAS_DEPTH - 1) % RAS_DEPTH;
+        self.len -= 1;
+        Some(self.stack[self.top])
+    }
+
+    /// Peeks at the most recent return address without popping.
+    pub fn top(&self) -> Option<Addr> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(self.stack[(self.top + RAS_DEPTH - 1) % RAS_DEPTH])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u64) -> Addr {
+        Addr::new(x)
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new();
+        r.push(a(1));
+        r.push(a(2));
+        r.push(a(3));
+        assert_eq!(r.pop(), Some(a(3)));
+        assert_eq!(r.pop(), Some(a(2)));
+        assert_eq!(r.pop(), Some(a(1)));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn underflow_is_none() {
+        let mut r = Ras::new();
+        assert!(r.is_empty());
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.top(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_keeping_most_recent() {
+        let mut r = Ras::new();
+        for i in 0..RAS_DEPTH as u64 + 10 {
+            r.push(a(i));
+        }
+        assert_eq!(r.len(), RAS_DEPTH);
+        // The most recent RAS_DEPTH pushes survive, newest first.
+        for i in (10..RAS_DEPTH as u64 + 10).rev() {
+            assert_eq!(r.pop(), Some(a(i)));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn top_does_not_pop() {
+        let mut r = Ras::new();
+        r.push(a(7));
+        assert_eq!(r.top(), Some(a(7)));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.pop(), Some(a(7)));
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut r = Ras::new();
+        r.push(a(1));
+        r.push(a(2));
+        let cp = r;
+        r.pop();
+        r.push(a(9));
+        r.push(a(10));
+        r = cp;
+        assert_eq!(r.pop(), Some(a(2)));
+        assert_eq!(r.pop(), Some(a(1)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Speculative predictor-history state and its checkpointing.
+//!
+//! Everything the prediction pipeline mutates speculatively lives in one
+//! `Copy` bundle: the policy history (target or direction bits, paper
+//! Eq. 1–3) with its incrementally-folded views, the idealized direction
+//! history (for the `Ideal` policy and Gshare), and the RAS. The frontend
+//! snapshots the bundle before every actual branch and restores a
+//! snapshot on every flush (execute-time misprediction, PFC restream, or
+//! GHR fixup).
+
+use fdip_bpred::{FoldPlan, FoldedHistories, GlobalHistory, HistoryPolicy, Ras};
+use fdip_types::Addr;
+
+/// The speculative history bundle (64-byte GHR ×2 + folds + RAS; plain
+/// `Copy` so checkpoint/restore is assignment).
+#[derive(Copy, Clone, Debug)]
+pub struct HistState {
+    /// Policy history: taken-only target hashes under THR, direction
+    /// bits otherwise. Indexes TAGE/ITTAGE through `folds`.
+    pub ghr: GlobalHistory,
+    /// Incrementally-maintained folds of `ghr`.
+    pub folds: FoldedHistories,
+    /// Idealized direction history (oracle branch detection): feeds
+    /// Gshare, and *is* the policy history under `HistoryPolicy::Ideal`.
+    pub ideal_dir: GlobalHistory,
+    /// Speculative return address stack.
+    pub ras: Ras,
+}
+
+impl HistState {
+    /// Initial (empty) state for a given fold plan.
+    pub fn new(plan: &FoldPlan) -> Self {
+        HistState {
+            ghr: GlobalHistory::new(),
+            folds: plan.initial(),
+            ideal_dir: GlobalHistory::new(),
+            ras: Ras::new(),
+        }
+    }
+
+    /// Pushes one direction bit into the policy history (and folds).
+    pub fn push_policy_direction(&mut self, plan: &FoldPlan, taken: bool) {
+        plan.push(&mut self.folds, &self.ghr, taken as u64, 1);
+        self.ghr.push_bits(taken as u64, 1);
+    }
+
+    /// Pushes a taken-branch target hash into the policy history (paper
+    /// Eq. 2–3).
+    pub fn push_policy_target(&mut self, plan: &FoldPlan, pc: Addr, target: Addr) {
+        let hash = GlobalHistory::target_hash(pc, target);
+        plan.push(&mut self.folds, &self.ghr, hash, 2);
+        self.ghr.push_bits(hash, 2);
+    }
+
+    /// Pushes one bit into the idealized direction history.
+    pub fn push_ideal_dir(&mut self, taken: bool) {
+        self.ideal_dir.push_bits(taken as u64, 1);
+    }
+
+    /// Records a *detected, predicted* branch outcome under `policy`.
+    ///
+    /// * THR: only taken branches contribute, via their target hash.
+    /// * Direction policies: every detected branch contributes its
+    ///   predicted direction bit.
+    ///
+    /// The idealized direction history is always maintained by the
+    /// caller via [`HistState::push_ideal_dir`] (it depends on oracle
+    /// detection, not on this call).
+    pub fn record_branch(
+        &mut self,
+        plan: &FoldPlan,
+        policy: HistoryPolicy,
+        pc: Addr,
+        taken: bool,
+        target: Addr,
+    ) {
+        if policy.uses_target_history() {
+            if taken {
+                self.push_policy_target(plan, pc, target);
+            }
+        } else {
+            self.push_policy_direction(plan, taken);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FoldPlan {
+        let mut p = FoldPlan::new();
+        p.register(16, 9);
+        p.register(64, 11);
+        p
+    }
+
+    #[test]
+    fn thr_ignores_not_taken() {
+        let plan = plan();
+        let mut h = HistState::new(&plan);
+        let before = h;
+        h.record_branch(&plan, HistoryPolicy::Thr, Addr::new(0x100), false, Addr::NULL);
+        assert_eq!(h.ghr, before.ghr);
+        assert_eq!(h.folds, before.folds);
+        h.record_branch(
+            &plan,
+            HistoryPolicy::Thr,
+            Addr::new(0x100),
+            true,
+            Addr::new(0x900),
+        );
+        assert_ne!(h.ghr, before.ghr);
+    }
+
+    #[test]
+    fn direction_policy_records_both_directions() {
+        let plan = plan();
+        for policy in [
+            HistoryPolicy::Ghr0,
+            HistoryPolicy::Ghr1,
+            HistoryPolicy::Ghr2,
+            HistoryPolicy::Ghr3,
+            HistoryPolicy::Ideal,
+        ] {
+            // Seed a 1-bit so a subsequent 0-bit shift is observable.
+            let mut a = HistState::new(&plan);
+            a.push_policy_direction(&plan, true);
+            let mut b = a;
+            a.record_branch(&plan, policy, Addr::new(0x100), false, Addr::NULL);
+            b.record_branch(&plan, policy, Addr::new(0x100), true, Addr::new(0x900));
+            // Not-taken still shifts the history (unlike THR)...
+            assert_ne!(a.ghr.recent(4), b.ghr.recent(4), "{policy}");
+            // ...and both directions are recorded distinctly.
+            assert_eq!(a.ghr.recent(2), 0b10, "{policy}");
+            assert_eq!(b.ghr.recent(2), 0b11, "{policy}");
+        }
+    }
+
+    #[test]
+    fn folds_track_ghr_through_records() {
+        let plan = plan();
+        let mut h = HistState::new(&plan);
+        for i in 0..200u64 {
+            if i % 3 == 0 {
+                h.record_branch(
+                    &plan,
+                    HistoryPolicy::Thr,
+                    Addr::new(0x1000 + i * 4),
+                    true,
+                    Addr::new(0x9000 + i * 32),
+                );
+            } else {
+                h.record_branch(&plan, HistoryPolicy::Ghr0, Addr::new(0x200), i % 2 == 0, Addr::NULL);
+            }
+        }
+        assert_eq!(h.folds, plan.recompute(&h.ghr));
+    }
+
+    #[test]
+    fn checkpoint_restore_is_assignment() {
+        let plan = plan();
+        let mut h = HistState::new(&plan);
+        h.ras.push(Addr::new(0x44));
+        let ckpt = h;
+        h.push_policy_direction(&plan, true);
+        h.push_ideal_dir(true);
+        h.ras.push(Addr::new(0x88));
+        let restored = ckpt;
+        assert_eq!(restored.ghr, GlobalHistory::new());
+        assert_eq!(restored.ras.top(), Some(Addr::new(0x44)));
+    }
+
+    #[test]
+    fn ideal_dir_is_independent_of_policy_history() {
+        let plan = plan();
+        let mut h = HistState::new(&plan);
+        h.push_ideal_dir(true);
+        assert_eq!(h.ghr, GlobalHistory::new());
+        assert_ne!(h.ideal_dir, GlobalHistory::new());
+    }
+}

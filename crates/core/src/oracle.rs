@@ -1,0 +1,121 @@
+//! The committed-path oracle: a sliding window over the execution
+//! engine's dynamic instruction stream, addressed by sequence number.
+//!
+//! The frontend consults it to tag predicted slots as on/off the correct
+//! path, execute-time resolution reads actual branch outcomes from it,
+//! and the retire stage releases consumed entries.
+
+use fdip_program::ExecutionEngine;
+use fdip_types::DynInstr;
+use std::collections::VecDeque;
+
+/// Sliding window over the committed instruction stream.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_program::{ExecutionEngine, ProgramBuilder, ProgramParams};
+/// use fdip_sim::oracle::Oracle;
+///
+/// let program = ProgramBuilder::new(ProgramParams::default()).build("p");
+/// let mut oracle = Oracle::new(ExecutionEngine::new(&program, 1));
+/// let first = *oracle.get(0);
+/// assert_eq!(first.pc, program.entry());
+/// let fourth = *oracle.get(4);
+/// assert_eq!(oracle.get(5).pc, fourth.next_pc);
+/// ```
+#[derive(Debug)]
+pub struct Oracle<'p> {
+    engine: ExecutionEngine<'p>,
+    window: VecDeque<DynInstr>,
+    /// Sequence number of `window[0]`.
+    base: u64,
+}
+
+impl<'p> Oracle<'p> {
+    /// Wraps an execution engine positioned at its entry point.
+    pub fn new(engine: ExecutionEngine<'p>) -> Self {
+        Oracle {
+            engine,
+            window: VecDeque::with_capacity(4096),
+            base: 0,
+        }
+    }
+
+    /// The committed instruction with sequence number `seq`, generating
+    /// the stream as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` was already released.
+    pub fn get(&mut self, seq: u64) -> &DynInstr {
+        assert!(seq >= self.base, "sequence {seq} already released");
+        while self.base + self.window.len() as u64 <= seq {
+            let d = self.engine.step();
+            self.window.push_back(d);
+        }
+        &self.window[(seq - self.base) as usize]
+    }
+
+    /// Releases all instructions with sequence numbers below `seq`
+    /// (called as instructions retire).
+    pub fn release_below(&mut self, seq: u64) {
+        while self.base < seq && !self.window.is_empty() {
+            self.window.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Current window size (bounded by in-flight work).
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_program::{ProgramBuilder, ProgramParams};
+
+    fn params() -> ProgramParams {
+        ProgramParams {
+            seed: 3,
+            num_funcs: 16,
+            ..ProgramParams::default()
+        }
+    }
+
+    #[test]
+    fn stream_is_contiguous_and_stable() {
+        let p = ProgramBuilder::new(params()).build("p");
+        let mut o = Oracle::new(ExecutionEngine::new(&p, 7));
+        let d10 = *o.get(10);
+        let d11 = *o.get(11);
+        assert_eq!(d10.next_pc, d11.pc);
+        // Re-reading gives the same instruction.
+        assert_eq!(*o.get(10), d10);
+    }
+
+    #[test]
+    fn release_advances_base() {
+        let p = ProgramBuilder::new(params()).build("p");
+        let mut o = Oracle::new(ExecutionEngine::new(&p, 7));
+        o.get(100);
+        assert_eq!(o.window_len(), 101);
+        o.release_below(50);
+        assert_eq!(o.window_len(), 51);
+        // Still addressable above the release point.
+        o.get(50);
+        o.get(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "already released")]
+    fn reading_released_seq_panics() {
+        let p = ProgramBuilder::new(params()).build("p");
+        let mut o = Oracle::new(ExecutionEngine::new(&p, 7));
+        o.get(10);
+        o.release_below(5);
+        o.get(3);
+    }
+}

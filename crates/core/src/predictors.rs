@@ -1,0 +1,78 @@
+//! The frontend's predictor bundle: direction predictor, ITTAGE, BTB,
+//! and the shared fold plan, constructed from a [`CoreConfig`].
+
+use crate::config::{CoreConfig, DirectionConfig};
+use fdip_bpred::{
+    Btb, DirectionPredictor, FoldPlan, Gshare, Ittage, LoopPredictor, LoopPredictorConfig, Tage,
+};
+
+/// All prediction structures the frontend owns.
+#[derive(Clone, Debug)]
+pub struct Predictors {
+    /// Shared fold plan (TAGE and ITTAGE register their folds here).
+    pub plan: FoldPlan,
+    /// Conditional direction predictor.
+    pub dir: DirectionPredictor,
+    /// Indirect target predictor.
+    pub ittage: Ittage,
+    /// Branch target buffer.
+    pub btb: Btb,
+    /// Optional loop predictor (§II-A).
+    pub loop_pred: Option<LoopPredictor>,
+}
+
+impl Predictors {
+    /// Builds the predictor set for a configuration.
+    pub fn new(cfg: &CoreConfig) -> Self {
+        let mut plan = FoldPlan::new();
+        let dir = match cfg.direction {
+            DirectionConfig::Tage(t) => DirectionPredictor::Tage(Tage::new(t, &mut plan)),
+            DirectionConfig::Gshare(g) => DirectionPredictor::Gshare(Gshare::new(g)),
+            DirectionConfig::Perfect => DirectionPredictor::Perfect,
+        };
+        let ittage = Ittage::new(cfg.ittage, &mut plan);
+        let btb = Btb::new(cfg.btb);
+        let loop_pred = cfg
+            .loop_predictor
+            .then(|| LoopPredictor::new(LoopPredictorConfig::default()));
+        Predictors {
+            plan,
+            dir,
+            ittage,
+            btb,
+            loop_pred,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_bpred::{GshareConfig, TageConfig};
+
+    #[test]
+    fn tage_and_ittage_share_the_plan() {
+        let p = Predictors::new(&CoreConfig::default());
+        // 3 folds per TAGE table + 2 per ITTAGE table.
+        let tage_tables = TageConfig::kb18().num_tables;
+        assert_eq!(p.plan.len(), 3 * tage_tables + 2 * 4);
+    }
+
+    #[test]
+    fn gshare_config_skips_tage_folds() {
+        let cfg = CoreConfig {
+            direction: crate::config::DirectionConfig::Gshare(GshareConfig::default()),
+            ..CoreConfig::default()
+        };
+        let p = Predictors::new(&cfg);
+        assert_eq!(p.plan.len(), 2 * 4); // ITTAGE only
+        assert!(matches!(p.dir, DirectionPredictor::Gshare(_)));
+    }
+
+    #[test]
+    fn btb_matches_config() {
+        let cfg = CoreConfig::default().with_btb_entries(2048);
+        let p = Predictors::new(&cfg);
+        assert_eq!(p.btb.config().entries, 2048);
+    }
+}

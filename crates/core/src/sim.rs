@@ -1,0 +1,1076 @@
+//! The cycle-level core simulator: decoupled frontend (branch-prediction
+//! pipeline → FTQ → instruction-fetch pipeline with PFC) plus a
+//! simplified out-of-order backend.
+//!
+//! Per-cycle stage order (reverse pipeline, so state flows one stage per
+//! cycle): resolve → retire → dispatch → fetch → predict → prefetch.
+//!
+//! The frontend runs on its *predicted* path. Because the synthetic
+//! program provides a full code image, wrong-path fetch, pre-decode, and
+//! PFC all operate on real instruction bytes; an oracle window over the
+//! committed stream tags on-path work and supplies resolution outcomes
+//! (see `DESIGN.md` §4).
+
+use crate::backend::{DataAddressGen, FetchedInstr, RobEntry, UnresolvedBranch};
+use crate::config::CoreConfig;
+use crate::ftq::{FillState, Ftq, FtqEntry, SlotBranch};
+use crate::hist::HistState;
+use crate::oracle::Oracle;
+use crate::predictors::Predictors;
+use crate::stats::SimStats;
+use fdip_bpred::{IttagePrediction, TagePrediction};
+use fdip_mem::Hierarchy;
+use fdip_prefetch::Prefetcher;
+use fdip_program::{ExecutionEngine, Program};
+use fdip_types::{Addr, Cycle, InstrKind, OpClass};
+use std::collections::VecDeque;
+
+/// The assembled core simulator for one workload.
+pub struct Simulator<'p> {
+    cfg: CoreConfig,
+    program: &'p Program,
+    oracle: Oracle<'p>,
+    preds: Predictors,
+    mem: Hierarchy,
+    prefetcher: Prefetcher,
+    ftq: Ftq,
+    dq: VecDeque<FetchedInstr>,
+    rob: VecDeque<RobEntry>,
+    unresolved: VecDeque<UnresolvedBranch>,
+    /// Speculative history at the prediction frontier.
+    hist: HistState,
+    pred_pc: Addr,
+    pred_on_path: bool,
+    pred_seq: u64,
+    pred_stall_until: Cycle,
+    retire_seq: u64,
+    now: Cycle,
+    next_id: u64,
+    data_gen: DataAddressGen,
+    /// Per image slot: does an idealized ("perfect") BTB hold this
+    /// branch? Real BTBs only ever allocate branches that are taken at
+    /// least once, so never-taken conditionals stay undetectable even
+    /// under a perfect BTB (§VI-A).
+    perfect_btb_has: Vec<bool>,
+    pf_queue: VecDeque<u64>,
+    pf_scratch: Vec<u64>,
+    /// Recently-issued prefetch lines -> issue cycle (churn filter).
+    pf_recent: std::collections::HashMap<u64, Cycle>,
+    stats: SimStats,
+}
+
+impl<'p> Simulator<'p> {
+    /// Builds a simulator positioned at the program entry.
+    ///
+    /// The LLC is pre-warmed with the code image, modelling the paper's
+    /// 50M-instruction warm-up after which the instruction footprint is
+    /// LLC-resident (DESIGN.md §2).
+    pub fn new(cfg: CoreConfig, program: &'p Program, seed: u64) -> Self {
+        let preds = Predictors::new(&cfg);
+        let hist = HistState::new(&preds.plan);
+        let backend = cfg.backend;
+        let mut mem = Hierarchy::new(cfg.mem);
+        let base_line = program.image().base().line_number();
+        let end_line = (program.image().base() + program.image().footprint_bytes()).line_number();
+        mem.prewarm_llc_instr(base_line..=end_line);
+        let mut preds = preds;
+        // Functional warm-up: replay the committed stream architecturally
+        // and train the BTB, as ChampSim's long warm-up does.
+        if cfg.func_warmup > 0 {
+            let mut engine = ExecutionEngine::new(program, seed);
+            for _ in 0..cfg.func_warmup {
+                let d = engine.step();
+                if let Some(kind) = d.kind.branch_kind() {
+                    if d.taken {
+                        preds.btb.insert(d.pc, kind, d.next_pc);
+                    } else if cfg.policy.allocate_not_taken() {
+                        if let Some(t) = program.image().instr_at(d.pc).kind.static_target() {
+                            preds.btb.insert(d.pc, kind, t);
+                        }
+                    }
+                }
+            }
+        }
+        let perfect_btb_has = if cfg.perfect_btb {
+            (0..program.image().len())
+                .map(|i| {
+                    let addr = program.image().addr_of(i);
+                    match program.image().instr_at(addr).kind.branch_kind() {
+                        None => false,
+                        Some(k) if k.is_unconditional() => true,
+                        Some(_) => match program.behavior_at(addr) {
+                            Some(fdip_program::BranchBehavior::Bias { p_taken }) => {
+                                *p_taken >= 0.02
+                            }
+                            _ => true,
+                        },
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Simulator {
+            oracle: Oracle::new(ExecutionEngine::new(program, seed)),
+            mem,
+            prefetcher: cfg.prefetcher.build(),
+            ftq: Ftq::new(cfg.ftq_entries),
+            dq: VecDeque::with_capacity(backend.decode_queue),
+            rob: VecDeque::with_capacity(backend.rob_size),
+            unresolved: VecDeque::new(),
+            hist,
+            pred_pc: program.entry(),
+            pred_on_path: true,
+            pred_seq: 0,
+            pred_stall_until: 0,
+            retire_seq: 0,
+            now: 0,
+            next_id: 0,
+            data_gen: DataAddressGen::new(
+                program.image().len(),
+                backend.data_hot_bytes,
+                backend.data_total_bytes,
+                backend.data_hot_pct,
+            ),
+            pf_queue: VecDeque::new(),
+            pf_scratch: Vec::new(),
+            pf_recent: std::collections::HashMap::new(),
+            stats: SimStats::default(),
+            perfect_btb_has,
+            preds,
+            program,
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Runs until `warmup + measure` instructions have retired and
+    /// returns the statistics of the measurement interval only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core deadlocks (a liveness bug) — no forward
+    /// progress over a very large cycle budget.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> SimStats {
+        self.run_until_retired(warmup);
+        let snap = self.collect();
+        self.run_until_retired(warmup + measure);
+        self.collect().delta(&snap)
+    }
+
+    fn run_until_retired(&mut self, target: u64) {
+        let mut guard = 0u64;
+        while self.stats.retired < target {
+            let before = self.stats.retired;
+            self.step();
+            if self.stats.retired == before {
+                guard += 1;
+                assert!(
+                    guard < 2_000_000,
+                    "no retirement for 2M cycles at cycle {} (retired {}, FTQ {}, DQ {}, ROB {})",
+                    self.now,
+                    self.stats.retired,
+                    self.ftq.len(),
+                    self.dq.len(),
+                    self.rob.len()
+                );
+            } else {
+                guard = 0;
+            }
+        }
+    }
+
+    /// Snapshot of all counters (including cache/BTB state).
+    pub fn collect(&self) -> SimStats {
+        let mut s = self.stats;
+        s.l1i = self.mem.l1i_stats();
+        s.l1d = self.mem.l1d_stats();
+        s.l2 = self.mem.l2_stats();
+        s.traffic = self.mem.traffic();
+        s.btb = self.preds.btb.stats();
+        s
+    }
+
+    /// Advances the core by one cycle.
+    pub fn step(&mut self) {
+        self.resolve_branches();
+        self.retire();
+        self.dispatch();
+        self.fetch_stage();
+        self.predict_stage();
+        self.issue_prefetches();
+        if self.dq.len() < self.cfg.decode_width {
+            self.stats.starvation_cycles += 1;
+        }
+        self.stats.ftq_occupancy_sum += self.ftq.len() as u64;
+        self.stats.cycles += 1;
+        self.now += 1;
+    }
+
+    // ----------------------------------------------------------------
+    // Resolution & flush
+    // ----------------------------------------------------------------
+
+    fn resolve_branches(&mut self) {
+        while let Some(front) = self.unresolved.front() {
+            if front.resolve_at > self.now {
+                break;
+            }
+            let u = self.unresolved.pop_front().expect("front exists");
+            let actual = *self.oracle.get(u.seq);
+            let predicted_next = if u.rec.predicted_taken {
+                u.rec.predicted_target
+            } else {
+                u.pc.next_instr()
+            };
+            let mispredicted = predicted_next != actual.next_pc;
+            self.train(&u, actual.taken, actual.next_pc);
+            if mispredicted {
+                self.stats.mispredicts += 1;
+                self.categorize_mispredict(&u, actual.taken);
+                self.stats.flushes += 1;
+                self.flush_after(&u, actual.taken, actual.next_pc);
+            }
+        }
+    }
+
+    fn categorize_mispredict(&mut self, u: &UnresolvedBranch, actual_taken: bool) {
+        if !u.rec.detected && actual_taken && !u.rec.predicted_taken {
+            self.stats.misp_undetected += 1;
+        } else if u.kind.is_conditional() && u.rec.predicted_taken != actual_taken {
+            self.stats.misp_cond_dir += 1;
+        } else if u.kind.is_indirect() {
+            self.stats.misp_indirect += 1;
+        } else if u.kind.is_return() {
+            self.stats.misp_return += 1;
+        } else {
+            self.stats.misp_cond_dir += 1;
+        }
+    }
+
+    fn train(&mut self, u: &UnresolvedBranch, actual_taken: bool, actual_next: Addr) {
+        if u.kind.is_conditional() {
+            if let Some(lp) = self.preds.loop_pred.as_mut() {
+                lp.update(u.pc, actual_taken);
+            }
+            self.preds.dir.update(
+                u.pc,
+                &u.rec.ckpt.folds,
+                &u.rec.ckpt.ideal_dir,
+                actual_taken,
+                u.rec.tage_pred,
+            );
+        }
+        if u.kind.is_indirect() {
+            self.preds
+                .ittage
+                .update(u.pc, &u.rec.ckpt.folds, actual_next, u.rec.itt_pred);
+        }
+        // BTB allocation policy (Table V column).
+        if actual_taken {
+            self.preds.btb.insert(u.pc, u.kind, actual_next);
+        } else if self.cfg.policy.allocate_not_taken() {
+            if let Some(t) = self.program.image().instr_at(u.pc).kind.static_target() {
+                self.preds.btb.insert(u.pc, u.kind, t);
+            }
+        }
+    }
+
+    /// Execute-time flush: squash everything younger than `u`, repair
+    /// history from its checkpoint, redirect prediction.
+    fn flush_after(&mut self, u: &UnresolvedBranch, actual_taken: bool, actual_next: Addr) {
+        let id = u.id;
+        self.rob.retain(|e| e.id <= id);
+        self.unresolved.retain(|b| b.id <= id);
+        self.dq.clear();
+        self.ftq.flush_all();
+
+        let mut h = *u.rec.ckpt;
+        h.record_branch(&self.preds.plan, self.cfg.policy, u.pc, actual_taken, actual_next);
+        h.push_ideal_dir(actual_taken);
+        if actual_taken && u.kind.is_call() {
+            h.ras.push(u.pc.next_instr());
+        }
+        if actual_taken && u.kind.is_return() {
+            h.ras.pop();
+        }
+        self.hist = h;
+
+        self.pred_pc = actual_next;
+        self.pred_on_path = true;
+        self.pred_seq = u.seq + 1;
+        self.pred_stall_until = self.now + self.cfg.btb_latency + self.cfg.redirect_penalty;
+        if let Some(lp) = self.preds.loop_pred.as_mut() {
+            lp.flush_speculation();
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Retire & dispatch
+    // ----------------------------------------------------------------
+
+    fn retire(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.backend.retire_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.complete_at > self.now {
+                break;
+            }
+            let e = self.rob.pop_front().expect("head exists");
+            let seq = e.seq.expect("wrong-path instruction reached retire");
+            self.stats.retired += 1;
+            if e.is_branch {
+                self.stats.retired_branches += 1;
+                if e.is_cond {
+                    self.stats.retired_cond += 1;
+                }
+            }
+            self.retire_seq = seq + 1;
+            n += 1;
+        }
+        self.oracle.release_below(self.retire_seq);
+    }
+
+    fn exec_latency(&mut self, fi: &FetchedInstr) -> u64 {
+        match fi.kind {
+            InstrKind::Op(OpClass::Mul) => 3,
+            InstrKind::Op(OpClass::Fp) => 4,
+            InstrKind::Op(OpClass::Load) => {
+                if fi.seq.is_some() {
+                    if let Some(idx) = self.program.image().index_of(fi.pc) {
+                        let line = self.data_gen.next_line(idx);
+                        let ready = self.mem.access_data_line(line, self.now);
+                        return (ready - self.now).max(1);
+                    }
+                }
+                1
+            }
+            _ => 1,
+        }
+    }
+
+    fn dispatch(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.backend.dispatch_width && self.rob.len() < self.cfg.backend.rob_size {
+            let Some(fi) = self.dq.pop_front() else { break };
+            let lat = self.exec_latency(&fi);
+            let complete_at = self.now + self.cfg.backend.frontend_depth + lat;
+            let is_branch = fi.kind.is_branch();
+            let is_cond = fi.kind.branch_kind().is_some_and(|k| k.is_conditional());
+            if let (Some(seq), Some(rec)) = (fi.seq, fi.branch) {
+                self.unresolved.push_back(UnresolvedBranch {
+                    id: fi.id,
+                    resolve_at: self.now + self.cfg.backend.frontend_depth + 1,
+                    pc: fi.pc,
+                    seq,
+                    kind: rec.kind,
+                    rec,
+                });
+            }
+            self.rob.push_back(RobEntry {
+                id: fi.id,
+                seq: fi.seq,
+                is_branch,
+                is_cond,
+                complete_at,
+            });
+            n += 1;
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Instruction fetch pipeline (fills, fetch, PFC)
+    // ----------------------------------------------------------------
+
+    fn fetch_stage(&mut self) {
+        self.fill_stage();
+        self.consume_head();
+    }
+
+    /// I-TLB/I-cache tag lookups for the two oldest unprobed entries;
+    /// misses start fills immediately, decoupled from the decode queue
+    /// (§IV-C).
+    fn fill_stage(&mut self) {
+        let mut picked = Vec::with_capacity(2);
+        for (idx, e) in self.ftq.iter().enumerate() {
+            if e.fill == FillState::Waiting {
+                picked.push(idx);
+                if picked.len() == 2 {
+                    break;
+                }
+            }
+        }
+        for idx in picked {
+            let (line, was_head) = {
+                let e = self.ftq.get_mut(idx).expect("picked index valid");
+                (e.line(), idx == 0)
+            };
+            if self.cfg.prefetcher.is_perfect() {
+                self.mem.prefetch_instr_line_instant(line, self.now);
+            }
+            let present = self.mem.instr_line_present(line);
+            let ready_at = self.mem.fetch_instr_line(line, self.now);
+            let missed = !present;
+            self.prefetcher.on_access(line, present, self.now, &mut self.pf_scratch);
+            self.stats.prefetch_candidates += self.pf_scratch.len() as u64;
+            for l in self.pf_scratch.drain(..) {
+                self.pf_queue.push_back(l);
+            }
+            if missed && self.cfg.prefetcher.wants_btb_prefetch() {
+                self.btb_prefetch_line(line);
+            }
+            let e = self.ftq.get_mut(idx).expect("picked index valid");
+            e.fill = FillState::Requested {
+                ready_at,
+                missed,
+                was_head,
+            };
+        }
+    }
+
+    /// BTB prefetching (§VI-E): pre-decode a filled line and install all
+    /// PC-relative branches, blindly.
+    fn btb_prefetch_line(&mut self, line: u64) {
+        let base = Addr::new(line * fdip_types::CACHE_LINE_BYTES);
+        for slot in 0..(fdip_types::CACHE_LINE_BYTES / fdip_types::INSTR_BYTES) {
+            let pc = base + slot * fdip_types::INSTR_BYTES;
+            if let InstrKind::Branch { kind, target } = self.program.image().instr_at(pc).kind {
+                if kind.is_direct() {
+                    self.preds.btb.insert(pc, kind, target);
+                }
+            }
+        }
+    }
+
+    fn classify_exposure(&mut self, e: &FtqEntry) {
+        if let FillState::Requested {
+            ready_at,
+            missed,
+            was_head,
+        } = e.fill
+        {
+            if !missed {
+                return;
+            }
+            if was_head {
+                self.stats.miss_full += 1;
+            } else if e.head_since.is_some_and(|h| ready_at > h) {
+                self.stats.miss_partial += 1;
+            } else {
+                self.stats.miss_covered += 1;
+            }
+        }
+    }
+
+    /// Fetches up to `fetch_width` instructions from the FTQ head into
+    /// the decode queue, running pre-decode (PFC / history fixup).
+    fn consume_head(&mut self) {
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width && self.dq.len() < self.cfg.backend.decode_queue {
+            let now = self.now;
+            let Some(head) = self.ftq.head_mut() else { break };
+            if head.head_since.is_none() {
+                head.head_since = Some(now);
+            }
+            let FillState::Requested { ready_at, .. } = head.fill else { break };
+            if ready_at > now {
+                break;
+            }
+            if head.is_drained() {
+                let e = self.ftq.pop_head().expect("head exists");
+                self.classify_exposure(&e);
+                continue;
+            }
+            let slot = head.fetched_upto;
+            let pc = head.addr_of_offset(slot);
+            let seq = head.seq_of_offset(slot);
+            let is_term = head.predicted_taken && slot == head.end_offset;
+            let hint = (head.hints >> slot) & 1 == 1;
+            let rec = if head.branches.first().map(|b| b.offset) == Some(slot) {
+                Some(head.branches.remove(0))
+            } else {
+                None
+            };
+            head.fetched_upto += 1;
+            let drained = head.is_drained();
+
+            let kind = self.program.image().instr_at(pc).kind;
+            let id = self.next_id;
+            self.next_id += 1;
+
+            if let Some(mut r) = rec {
+                if !is_term {
+                    if let Some((taken, target, case1)) = self.pfc_decision(&r, pc, hint) {
+                        // Restream: fix history, flush, push the branch
+                        // with its corrected prediction.
+                        if case1 {
+                            self.stats.pfc_case1 += 1;
+                        } else if taken {
+                            self.stats.pfc_case2 += 1;
+                        }
+                        if taken {
+                            self.stats.pfc_restreams += 1;
+                        } else {
+                            self.stats.fixup_flushes += 1;
+                        }
+                        r.predicted_taken = taken;
+                        r.predicted_target = target;
+                        self.restream(&r, pc, seq, taken, target);
+                        self.dq.push_back(FetchedInstr {
+                            id,
+                            pc,
+                            kind,
+                            seq,
+                            branch: Some(Box::new(r)),
+                        });
+                        // The rest of the head entry and everything
+                        // younger is flushed.
+                        let e = self.ftq.pop_head().expect("head exists");
+                        self.classify_exposure(&e);
+                        self.ftq.flush_all();
+                        break;
+                    }
+                }
+                // Branch-triggered prefetching (D-JOLT) hooks the
+                // fetched branch stream (correct-path tagged only, so
+                // wrong-path noise cannot scramble the signatures), with
+                // the frontend's target view.
+                let on_path = seq.is_some();
+                let pf_target = if r.predicted_taken {
+                    r.predicted_target
+                } else {
+                    self.program
+                        .image()
+                        .instr_at(pc)
+                        .kind
+                        .static_target()
+                        .unwrap_or(Addr::NULL)
+                };
+                if on_path {
+                    let before = self.pf_scratch.len();
+                    self.prefetcher
+                        .on_branch(pc, r.kind, pf_target, &mut self.pf_scratch);
+                    self.stats.prefetch_candidates += (self.pf_scratch.len() - before) as u64;
+                    while let Some(l) = self.pf_scratch.pop() {
+                        self.pf_queue.push_back(l);
+                    }
+                }
+                self.dq.push_back(FetchedInstr {
+                    id,
+                    pc,
+                    kind,
+                    seq,
+                    branch: Some(Box::new(r)),
+                });
+            } else {
+                self.dq.push_back(FetchedInstr {
+                    id,
+                    pc,
+                    kind,
+                    seq,
+                    branch: None,
+                });
+            }
+            if drained {
+                let e = self.ftq.pop_head().expect("head exists");
+                self.classify_exposure(&e);
+            }
+            fetched += 1;
+        }
+    }
+
+    /// Pre-decode decision for a non-terminator actual branch: returns
+    /// `Some((taken, target, is_case1))` when the stream must be
+    /// re-steered (PFC cases of Fig. 5) or the history repaired (GHR2/3
+    /// fixup, with `taken = false` and a sequential restream).
+    fn pfc_decision(&self, r: &SlotBranch, pc: Addr, hint: bool) -> Option<(bool, Addr, bool)> {
+        let image_target = self.program.image().instr_at(pc).kind.static_target();
+        if self.cfg.pfc {
+            if r.kind.is_unconditional() && r.kind.pfc_target_available() {
+                // Case 1: an unconditional branch before the block end —
+                // wrong direction prediction (hint 0) or BTB miss.
+                let target = if r.kind.is_return() {
+                    r.ckpt.ras.top()
+                } else {
+                    image_target
+                };
+                if let Some(t) = target {
+                    return Some((true, t, true));
+                }
+            }
+            if r.kind.is_conditional() && hint && !r.detected {
+                // Case 2: hinted-taken PC-relative conditional that
+                // missed in the BTB.
+                if let Some(t) = image_target {
+                    return Some((true, t, false));
+                }
+            }
+        }
+        if self.cfg.policy.fixup_not_taken() && !r.detected {
+            // Direction-history repair: push the predicted direction bit
+            // this branch should have contributed and restream
+            // sequentially (costs a frontend flush, §III-A).
+            return Some((false, pc.next_instr(), false));
+        }
+        None
+    }
+
+    /// Re-steers the prediction pipeline from pre-decode (PFC or fixup).
+    fn restream(&mut self, r: &SlotBranch, pc: Addr, seq: Option<u64>, taken: bool, target: Addr) {
+        let mut h = *r.ckpt;
+        if taken || !self.cfg.policy.uses_target_history() {
+            h.record_branch(&self.preds.plan, self.cfg.policy, pc, taken, target);
+        }
+        h.push_ideal_dir(taken);
+        if taken && r.kind.is_call() {
+            h.ras.push(pc.next_instr());
+        }
+        if taken && r.kind.is_return() {
+            h.ras.pop();
+        }
+        self.hist = h;
+        if let Some(lp) = self.preds.loop_pred.as_mut() {
+            lp.flush_speculation();
+        }
+        let next = if taken { target } else { pc.next_instr() };
+        self.pred_pc = next;
+        self.pred_stall_until = self.now + self.cfg.btb_latency + self.cfg.pfc_redirect_penalty;
+        match seq {
+            Some(s) => {
+                let actual = *self.oracle.get(s);
+                if actual.next_pc == next {
+                    self.pred_on_path = true;
+                    self.pred_seq = s + 1;
+                } else {
+                    self.pred_on_path = false;
+                    if taken {
+                        self.stats.pfc_harmful += 1;
+                    }
+                }
+            }
+            None => self.pred_on_path = false,
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Branch prediction pipeline
+    // ----------------------------------------------------------------
+
+    /// One prediction cycle: probe up to `pred_bw` sequential slots,
+    /// terminate at the first predicted-taken branch (unless B18m), and
+    /// insert the covered 32-byte blocks into the FTQ.
+    fn predict_stage(&mut self) {
+        if self.now < self.pred_stall_until {
+            return;
+        }
+        // Small FTQs (the no-FDP 2-entry configuration) still predict:
+        // gate on having at least one free entry, and stop opening new
+        // blocks when space runs out.
+        let mut budget = self.ftq.free().min(self.cfg.max_blocks_per_predict());
+        if budget == 0 {
+            return;
+        }
+        let mut slots = self.cfg.pred_bw;
+        let mut cursor = self.pred_pc;
+        let mut open: Option<FtqEntry> = None;
+
+        while slots > 0 {
+            let pc = cursor;
+            let offset = pc.ftq_offset();
+            if open.is_none() {
+                if budget == 0 {
+                    break;
+                }
+                budget -= 1;
+                open = Some(FtqEntry::new(pc, offset));
+            }
+
+            // --- Correct-path tagging.
+            let mut slot_seq = None;
+            if self.pred_on_path {
+                let exp = self.oracle.get(self.pred_seq);
+                if exp.pc == pc {
+                    slot_seq = Some(self.pred_seq);
+                } else {
+                    self.pred_on_path = false;
+                }
+            }
+            {
+                let e = open.as_mut().expect("block open");
+                if slot_seq.is_some() && e.matched == offset - e.start_offset() {
+                    if e.first_seq.is_none() {
+                        e.first_seq = slot_seq;
+                    }
+                    e.matched += 1;
+                }
+            }
+
+            let static_kind = self.program.image().instr_at(pc).kind;
+            let actual_branch = static_kind.branch_kind();
+
+            // --- BTB (16 slots/cycle readout; every slot probed).
+            let (detected, btb_kind, btb_target) = if self.cfg.perfect_btb {
+                let idx = self.program.image().index_of(pc);
+                let known = idx.is_some_and(|i| self.perfect_btb_has[i]);
+                match static_kind {
+                    InstrKind::Branch { kind, target } if known => {
+                        // Indirect targets are not in the instruction
+                        // word; a perfect BTB still remembers the last
+                        // observed target like a real one.
+                        let target = if target.is_null() {
+                            self.preds.btb.lookup(pc).map_or(Addr::NULL, |e| e.target)
+                        } else {
+                            target
+                        };
+                        (true, Some(kind), target)
+                    }
+                    _ => (false, None, Addr::NULL),
+                }
+            } else {
+                match self.preds.btb.lookup(pc) {
+                    Some(e) => (true, Some(e.kind), e.target),
+                    None => (false, None, Addr::NULL),
+                }
+            };
+
+            // --- Direction prediction. Hardware predicts every slot
+            // (EV8-style); only actual-branch slots consume the result,
+            // so the simulator computes just those (functionally
+            // equivalent, DESIGN.md §4).
+            let mut tage_pred = TagePrediction::default();
+            let mut hint = false;
+            if let Some(k) = actual_branch {
+                if k.is_conditional() {
+                    let oracle_dir = slot_seq.map(|s| self.oracle.get(s).taken);
+                    tage_pred =
+                        self.preds
+                            .dir
+                            .predict(pc, &self.hist.folds, &self.hist.ideal_dir, oracle_dir);
+                    hint = tage_pred.taken;
+                    // A confident loop-predictor entry overrides the
+                    // direction predictor (§II-A).
+                    if let Some(lp) = self.preds.loop_pred.as_mut() {
+                        if let Some(p) = lp.predict(pc) {
+                            if p.confident {
+                                hint = p.taken;
+                                tage_pred.taken = p.taken;
+                            }
+                        }
+                    }
+                } else {
+                    hint = true;
+                }
+            }
+
+            // --- Checkpoint before this slot's speculative effects.
+            let ckpt = self.hist;
+            let mut itt_pred = IttagePrediction::default();
+            let mut predicted_taken = false;
+            let mut predicted_target = Addr::NULL;
+            let mut next = pc.next_instr();
+
+            if detected {
+                let k = btb_kind.expect("detected implies kind");
+                let mut taken = if k.is_conditional() { tage_pred.taken } else { true };
+                let mut target = btb_target;
+                if taken && k.is_indirect() {
+                    itt_pred = self.preds.ittage.predict(pc, &self.hist.folds);
+                    if self.cfg.perfect_indirect {
+                        if let Some(s) = slot_seq {
+                            target = self.oracle.get(s).next_pc;
+                        } else if !itt_pred.target.is_null() {
+                            target = itt_pred.target;
+                        }
+                    } else if !itt_pred.target.is_null() {
+                        target = itt_pred.target;
+                    }
+                }
+                if taken && k.is_return() {
+                    target = self.hist.ras.top().unwrap_or(btb_target);
+                }
+                if taken && target.is_null() {
+                    // No target available (e.g. cold indirect): the
+                    // frontend cannot redirect; flow continues
+                    // sequentially.
+                    taken = false;
+                }
+                if taken {
+                    if k.is_return() {
+                        self.hist.ras.pop();
+                    }
+                    if k.is_call() {
+                        self.hist.ras.push(pc.next_instr());
+                    }
+                }
+                self.hist
+                    .record_branch(&self.preds.plan, self.cfg.policy, pc, taken, target);
+                self.hist.push_ideal_dir(taken);
+                predicted_taken = taken;
+                predicted_target = target;
+                if taken {
+                    next = target;
+                }
+            } else if let Some(k) = actual_branch {
+                // Undetected branch: flows sequentially. The Ideal
+                // policy still sees it (oracle detection) and records
+                // its predicted direction.
+                let bit = if k.is_conditional() { hint } else { true };
+                if self.cfg.policy.oracle_detection() {
+                    self.hist
+                        .record_branch(&self.preds.plan, self.cfg.policy, pc, bit, Addr::NULL);
+                }
+                self.hist.push_ideal_dir(bit);
+            }
+
+            // --- Record into the open block.
+            {
+                let e = open.as_mut().expect("block open");
+                e.end_offset = offset;
+                if hint {
+                    e.hints |= 1 << offset;
+                }
+                if let Some(k) = actual_branch {
+                    e.branches.push(SlotBranch {
+                        offset,
+                        kind: k,
+                        ckpt: Box::new(ckpt),
+                        tage_pred,
+                        itt_pred,
+                        predicted_taken,
+                        predicted_target,
+                        detected,
+                    });
+                }
+            }
+
+            // --- Advance the correct-path cursor.
+            if let Some(s) = slot_seq {
+                if self.oracle.get(s).next_pc == next {
+                    self.pred_seq = s + 1;
+                } else {
+                    self.pred_on_path = false;
+                }
+            }
+
+            slots -= 1;
+            cursor = next;
+
+            if predicted_taken {
+                let mut e = open.take().expect("block open");
+                e.predicted_taken = true;
+                e.next_block = next;
+                self.ftq.push(e);
+                if !self.cfg.multi_taken {
+                    break;
+                }
+            } else if offset == 7 {
+                let mut e = open.take().expect("block open");
+                e.next_block = next;
+                self.ftq.push(e);
+            }
+        }
+        if let Some(mut e) = open.take() {
+            e.next_block = cursor;
+            self.ftq.push(e);
+        }
+        self.pred_pc = cursor;
+    }
+
+    // ----------------------------------------------------------------
+    // Prefetch issue
+    // ----------------------------------------------------------------
+
+    fn issue_prefetches(&mut self) {
+        // Re-issue filter: a line prefetched recently is not issued
+        // again, preventing aggressive prefetchers from churning the
+        // small L1I with repeated fills. Only FNL+MMA implements such a
+        // filter (paper §VI-D footnote); unfiltered prefetchers probe
+        // the I-cache tags for every candidate.
+        const REISSUE_WINDOW: Cycle = 768;
+        let filtered = self.prefetcher.has_reissue_filter();
+        let mut issued = 0;
+        while issued < self.cfg.prefetch_issue_bw {
+            let Some(line) = self.pf_queue.pop_front() else { break };
+            let now = self.now;
+            if filtered {
+                match self.pf_recent.get(&line) {
+                    Some(&t) if now < t + REISSUE_WINDOW => continue,
+                    _ => {}
+                }
+                self.pf_recent.insert(line, now);
+            }
+            self.mem.prefetch_instr_line(line, now);
+            issued += 1;
+        }
+        // Bound queue growth under pathological candidate floods (drop
+        // the newest, least-urgent candidates).
+        self.pf_queue.truncate(256);
+        // Keep the filter map bounded.
+        if self.pf_recent.len() > 4096 {
+            let cutoff = self.now.saturating_sub(REISSUE_WINDOW);
+            self.pf_recent.retain(|_, &mut t| t >= cutoff);
+        }
+    }
+}
+
+/// Convenience: build, run, and return measurement statistics for one
+/// (config, program) pair.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fdip_program::workload::{Workload, WorkloadFamily};
+/// use fdip_sim::{run_workload, CoreConfig};
+///
+/// let wl = Workload::family_default("spec_a", WorkloadFamily::Spec, 301);
+/// let program = wl.build();
+/// let stats = run_workload(&CoreConfig::fdp(), &program, 10_000, 50_000);
+/// println!("IPC {:.2}", stats.ipc());
+/// ```
+pub fn run_workload(cfg: &CoreConfig, program: &Program, warmup: u64, measure: u64) -> SimStats {
+    let mut sim = Simulator::new(cfg.clone(), program, 0xf0cc_ed);
+    sim.run(warmup, measure)
+}
+
+#[cfg(test)]
+mod tests {
+    use fdip_prefetch::PrefetcherKind;
+    use super::*;
+    use fdip_program::{ProgramBuilder, ProgramParams};
+
+    fn small_program(seed: u64) -> Program {
+        ProgramBuilder::new(ProgramParams {
+            seed,
+            num_funcs: 48,
+            ..ProgramParams::default()
+        })
+        .build("sim-test")
+    }
+
+    fn quick(cfg: &CoreConfig, p: &Program) -> SimStats {
+        run_workload(cfg, p, 3_000, 15_000)
+    }
+
+    #[test]
+    fn retires_the_requested_instructions() {
+        let p = small_program(1);
+        let s = quick(&CoreConfig::fdp(), &p);
+        // Warm-up may overshoot by up to retire_width.
+        assert!(s.retired >= 15_000 - 8, "{}", s.retired);
+        assert!(s.cycles > 0);
+        let ipc = s.ipc();
+        assert!(ipc > 0.1 && ipc < 8.0, "implausible IPC {ipc}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let p = small_program(2);
+        let a = quick(&CoreConfig::fdp(), &p);
+        let b = quick(&CoreConfig::fdp(), &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fdp_beats_no_fdp() {
+        let p = small_program(3);
+        let fdp = quick(&CoreConfig::fdp(), &p);
+        let no = quick(&CoreConfig::no_fdp(), &p);
+        assert!(
+            fdp.ipc() > no.ipc(),
+            "FDP {:.3} vs no-FDP {:.3}",
+            fdp.ipc(),
+            no.ipc()
+        );
+    }
+
+    #[test]
+    fn mispredictions_are_bounded_and_nonzero() {
+        let p = small_program(4);
+        let s = quick(&CoreConfig::fdp(), &p);
+        assert!(s.mispredicts > 0, "a real workload mispredicts sometimes");
+        let mpki = s.branch_mpki();
+        assert!(mpki < 150.0, "MPKI {mpki} absurdly high");
+    }
+
+    #[test]
+    fn perfect_btb_and_direction_reduce_mispredicts() {
+        let p = small_program(5);
+        let base = quick(&CoreConfig::fdp(), &p);
+        let perfect = quick(
+            &CoreConfig {
+                perfect_btb: true,
+                perfect_indirect: true,
+                direction: crate::config::DirectionConfig::Perfect,
+                ..CoreConfig::fdp()
+            },
+            &p,
+        );
+        assert!(
+            perfect.mispredicts < base.mispredicts / 2,
+            "perfect {} vs base {}",
+            perfect.mispredicts,
+            base.mispredicts
+        );
+    }
+
+    #[test]
+    fn perfect_prefetch_removes_starvation_misses() {
+        let p = small_program(6);
+        let base = quick(&CoreConfig::fdp(), &p);
+        let perfect = quick(
+            &CoreConfig::fdp().with_prefetcher(PrefetcherKind::Perfect),
+            &p,
+        );
+        assert!(perfect.ipc() >= base.ipc() * 0.98);
+        // Exposed misses should essentially vanish.
+        assert!(perfect.miss_full + perfect.miss_partial <= base.miss_full + base.miss_partial);
+    }
+
+    #[test]
+    fn pfc_restreams_fire_on_small_btbs() {
+        let p = small_program(7);
+        // No functional warm-up: a cold, tiny BTB misses on taken
+        // branches, which is exactly what PFC recovers.
+        let mut cfg = CoreConfig::fdp().with_btb_entries(64);
+        cfg.func_warmup = 0;
+        let s = quick(&cfg, &p);
+        assert!(s.pfc_restreams > 0, "small BTB must trigger PFC");
+        let off = quick(&cfg.with_pfc(false), &p);
+        assert_eq!(off.pfc_restreams, 0);
+    }
+
+    #[test]
+    fn larger_ftq_improves_ipc_on_icache_bound_work() {
+        let p = ProgramBuilder::new(ProgramParams {
+            seed: 8,
+            num_funcs: 600,
+            ..ProgramParams::default()
+        })
+        .build("big");
+        let small = quick(&CoreConfig::fdp().with_ftq(2), &p);
+        let large = quick(&CoreConfig::fdp().with_ftq(24), &p);
+        assert!(
+            large.ipc() > small.ipc() * 1.02,
+            "24-entry {:.3} vs 2-entry {:.3}",
+            large.ipc(),
+            small.ipc()
+        );
+    }
+
+    #[test]
+    fn warmup_is_excluded_from_stats() {
+        let p = small_program(9);
+        let mut sim = Simulator::new(CoreConfig::fdp(), &p, 1);
+        let s = sim.run(5_000, 10_000);
+        assert!(s.retired >= 10_000 - 8 && s.retired < 12_000, "{}", s.retired);
+    }
+}

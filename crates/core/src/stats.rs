@@ -1,0 +1,239 @@
+//! Simulation statistics: raw counters plus the derived metrics the
+//! paper's figures report (IPC, branch MPKI, starvation cycles/KI,
+//! I-cache tag accesses/KI, exposure classification).
+
+use fdip_bpred::BtbStats;
+use fdip_mem::{CacheStats, TrafficStats};
+
+/// Raw counters collected over a simulation interval.
+///
+/// Supports interval arithmetic (`delta`) so warm-up can be excluded.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Committed (correct-path) instructions retired.
+    pub retired: u64,
+    /// Committed branches retired.
+    pub retired_branches: u64,
+    /// Committed conditional branches retired.
+    pub retired_cond: u64,
+    /// Branch mispredictions resolved at execute (all causes).
+    pub mispredicts: u64,
+    /// ... of which: conditional direction wrong (branch was detected).
+    pub misp_cond_dir: u64,
+    /// ... of which: BTB-miss taken branches that went undetected.
+    pub misp_undetected: u64,
+    /// ... of which: wrong target from the indirect predictor.
+    pub misp_indirect: u64,
+    /// ... of which: wrong return target from the RAS.
+    pub misp_return: u64,
+    /// Execute-time pipeline flushes.
+    pub flushes: u64,
+    /// PFC restreams performed (both Fig. 5 cases).
+    pub pfc_restreams: u64,
+    /// ... of which case 1 (unconditional before block end).
+    pub pfc_case1: u64,
+    /// ... of which case 2 (hinted conditional, BTB miss).
+    pub pfc_case2: u64,
+    /// PFC restreams that steered onto a wrong path (harmful PFC,
+    /// §VI-B) — known when the restreamed branch was on the committed
+    /// path and actually not taken.
+    pub pfc_harmful: u64,
+    /// Frontend flushes performed to repair direction history on
+    /// BTB-miss branches (GHR2/GHR3 policies).
+    pub fixup_flushes: u64,
+    /// Cycles in which the decode queue held fewer than `decode_width`
+    /// instructions (§VI-D "starvation").
+    pub starvation_cycles: u64,
+    /// Sum of FTQ occupancy per cycle (for average occupancy).
+    pub ftq_occupancy_sum: u64,
+    /// I-cache misses (from FTQ fill probes) that were covered: the line
+    /// arrived before causing a starvation cycle (§VI-G).
+    pub miss_covered: u64,
+    /// ... partially exposed.
+    pub miss_partial: u64,
+    /// ... fully exposed (requested only once the entry was FTQ head).
+    pub miss_full: u64,
+    /// Prefetch candidate lines emitted by the dedicated prefetcher.
+    pub prefetch_candidates: u64,
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Below-L1 traffic counters.
+    pub traffic: TrafficStats,
+    /// BTB counters.
+    pub btb: BtbStats,
+}
+
+macro_rules! sub_fields {
+    ($a:expr, $b:expr, { $($f:ident),* $(,)? }) => {
+        SimStats { $($f: $a.$f - $b.$f,)* l1i: sub_cache($a.l1i, $b.l1i),
+                   l1d: sub_cache($a.l1d, $b.l1d), l2: sub_cache($a.l2, $b.l2),
+                   traffic: TrafficStats {
+                       dram_accesses: $a.traffic.dram_accesses - $b.traffic.dram_accesses,
+                       prefetch_traffic: $a.traffic.prefetch_traffic - $b.traffic.prefetch_traffic,
+                       ifetch_wait_cycles: $a.traffic.ifetch_wait_cycles
+                           - $b.traffic.ifetch_wait_cycles,
+                   },
+                   btb: BtbStats {
+                       lookups: $a.btb.lookups - $b.btb.lookups,
+                       hits: $a.btb.hits - $b.btb.hits,
+                       allocs: $a.btb.allocs - $b.btb.allocs,
+                   },
+        }
+    };
+}
+
+fn sub_cache(a: CacheStats, b: CacheStats) -> CacheStats {
+    CacheStats {
+        demand_accesses: a.demand_accesses - b.demand_accesses,
+        demand_hits: a.demand_hits - b.demand_hits,
+        demand_misses: a.demand_misses - b.demand_misses,
+        demand_merged: a.demand_merged - b.demand_merged,
+        prefetch_requests: a.prefetch_requests - b.prefetch_requests,
+        prefetch_fills: a.prefetch_fills - b.prefetch_fills,
+        prefetch_dropped: a.prefetch_dropped - b.prefetch_dropped,
+        useful_prefetches: a.useful_prefetches - b.useful_prefetches,
+        tag_probes: a.tag_probes - b.tag_probes,
+        evictions: a.evictions - b.evictions,
+    }
+}
+
+impl SimStats {
+    /// Counters accumulated between `earlier` and `self` (used to strip
+    /// warm-up).
+    pub fn delta(&self, earlier: &SimStats) -> SimStats {
+        sub_fields!(self, earlier, {
+            cycles, retired, retired_branches, retired_cond, mispredicts,
+            misp_cond_dir, misp_undetected, misp_indirect, misp_return,
+            flushes, pfc_restreams, pfc_case1, pfc_case2, pfc_harmful,
+            fixup_flushes, starvation_cycles, ftq_occupancy_sum,
+            miss_covered, miss_partial, miss_full, prefetch_candidates,
+        })
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.retired as f64 / self.cycles as f64
+    }
+
+    /// Branch mispredictions per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.retired == 0 {
+            return 0.0;
+        }
+        1000.0 * self.mispredicts as f64 / self.retired as f64
+    }
+
+    /// L1I demand misses per kilo-instruction.
+    pub fn l1i_mpki(&self) -> f64 {
+        if self.retired == 0 {
+            return 0.0;
+        }
+        1000.0 * self.l1i.demand_misses as f64 / self.retired as f64
+    }
+
+    /// Starvation cycles per kilo-instruction (§VI-D).
+    pub fn starvation_pki(&self) -> f64 {
+        if self.retired == 0 {
+            return 0.0;
+        }
+        1000.0 * self.starvation_cycles as f64 / self.retired as f64
+    }
+
+    /// I-cache tag-array accesses per kilo-instruction (Fig. 9).
+    pub fn icache_tag_pki(&self) -> f64 {
+        if self.retired == 0 {
+            return 0.0;
+        }
+        1000.0 * self.l1i.tag_probes as f64 / self.retired as f64
+    }
+
+    /// Average FTQ occupancy.
+    pub fn avg_ftq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.ftq_occupancy_sum as f64 / self.cycles as f64
+    }
+
+    /// Fraction of I-cache misses that were fully or partially exposed
+    /// (§VI-G).
+    pub fn exposed_fraction(&self) -> f64 {
+        let total = self.miss_covered + self.miss_partial + self.miss_full;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.miss_partial + self.miss_full) as f64 / total as f64
+    }
+
+    /// BTB demand hit rate.
+    pub fn btb_hit_rate(&self) -> f64 {
+        if self.btb.lookups == 0 {
+            return 0.0;
+        }
+        self.btb.hits as f64 / self.btb.lookups as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimStats {
+        SimStats {
+            cycles: 1000,
+            retired: 2000,
+            retired_branches: 400,
+            mispredicts: 10,
+            starvation_cycles: 100,
+            miss_covered: 30,
+            miss_partial: 10,
+            miss_full: 10,
+            ftq_occupancy_sum: 12_000,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = sample();
+        assert!((s.ipc() - 2.0).abs() < 1e-9);
+        assert!((s.branch_mpki() - 5.0).abs() < 1e-9);
+        assert!((s.starvation_pki() - 50.0).abs() < 1e-9);
+        assert!((s.avg_ftq_occupancy() - 12.0).abs() < 1e-9);
+        assert!((s.exposed_fraction() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let z = SimStats::default();
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.branch_mpki(), 0.0);
+        assert_eq!(z.exposed_fraction(), 0.0);
+        assert_eq!(z.btb_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_all_core_fields() {
+        let a = sample();
+        let mut b = sample();
+        b.cycles += 500;
+        b.retired += 1500;
+        b.mispredicts += 7;
+        b.l1i.tag_probes += 42;
+        let d = b.delta(&a);
+        assert_eq!(d.cycles, 500);
+        assert_eq!(d.retired, 1500);
+        assert_eq!(d.mispredicts, 7);
+        assert_eq!(d.l1i.tag_probes, 42);
+        assert_eq!(d.starvation_cycles, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Command-line driver: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! fdip-experiments all            # every experiment, paper order
+//! fdip-experiments fig7 fig8     # a subset
+//! fdip-experiments --list        # show ids
+//! ```
+//!
+//! Scale via `FDIP_INSTRS`, `FDIP_WARMUP`, `FDIP_SUITE=quick|full`.
+
+use fdip_harness::experiments;
+use fdip_harness::Runner;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: fdip-experiments [--list] <all | fig1 tab3 tab4 fig6a fig6b fig7..fig14>");
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for e in experiments::all() {
+            println!("{:7} {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let selected: Vec<_> = if args.iter().any(|a| a == "all") {
+        experiments::all()
+    } else {
+        args.iter()
+            .map(|id| {
+                experiments::by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment '{id}' (try --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let t0 = Instant::now();
+    let runner = Runner::from_env();
+    println!(
+        "suite: {} workloads [{}]\n",
+        runner.len(),
+        runner.names().join(", ")
+    );
+
+    for e in selected {
+        let t = Instant::now();
+        println!("### {} — {}", e.id, e.title);
+        let report = (e.run)(&runner);
+        println!("{report}");
+        println!("({} took {:.1}s)\n", e.id, t.elapsed().as_secs_f64());
+    }
+    println!("total {:.1}s", t0.elapsed().as_secs_f64());
+}

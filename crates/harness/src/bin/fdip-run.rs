@@ -1,0 +1,165 @@
+//! Single-configuration runner: simulate one workload under one frontend
+//! configuration and print the full statistics block. The tool a
+//! downstream user reaches for before scripting sweeps.
+//!
+//! ```text
+//! fdip-run --workload server_a --btb 4096 --no-pfc --instrs 500000
+//! fdip-run --list-workloads
+//! fdip-run --workload spec_a --policy ghr3 --prefetcher eip27 --ftq 12
+//! ```
+
+use fdip_bpred::{GshareConfig, HistoryPolicy, TageConfig};
+use fdip_prefetch::PrefetcherKind;
+use fdip_program::workload;
+use fdip_sim::{run_workload, CoreConfig, DirectionConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fdip-run [options]
+  --workload <name>      workload from the suite (default server_a)
+  --list-workloads       print suite names and exit
+  --instrs <n>           measured instructions (default 200000)
+  --warmup <n>           timed warm-up instructions (default 50000)
+  --ftq <entries>        FTQ depth (default 24; 2 = no FDP)
+  --btb <entries>        BTB entries (default 8192)
+  --btb-latency <cyc>    BTB latency (default 2)
+  --pred-bw <n>          prediction bandwidth (default 12)
+  --policy <p>           thr|ideal|ghr0|ghr1|ghr2|ghr3 (default thr)
+  --direction <d>        tage9|tage18|tage36|gshare|perfect (default tage18)
+  --prefetcher <p>       none|nl1|fnlmma|djolt|eip27|eip128|sn4l|sn4lbtb|rdip|perfect
+  --no-pfc               disable post-fetch correction
+  --loop-predictor       enable the loop predictor
+  --perfect-btb          idealised BTB
+  --no-fdp               shorthand for --ftq 2 --no-pfc"
+    );
+    std::process::exit(2);
+}
+
+fn parse_policy(s: &str) -> HistoryPolicy {
+    match s {
+        "thr" => HistoryPolicy::Thr,
+        "ideal" => HistoryPolicy::Ideal,
+        "ghr0" => HistoryPolicy::Ghr0,
+        "ghr1" => HistoryPolicy::Ghr1,
+        "ghr2" => HistoryPolicy::Ghr2,
+        "ghr3" => HistoryPolicy::Ghr3,
+        _ => usage(),
+    }
+}
+
+fn parse_prefetcher(s: &str) -> PrefetcherKind {
+    match s {
+        "none" => PrefetcherKind::None,
+        "nl1" => PrefetcherKind::NextLine,
+        "fnlmma" => PrefetcherKind::FnlMma,
+        "djolt" => PrefetcherKind::Djolt,
+        "eip27" => PrefetcherKind::Eip27,
+        "eip128" => PrefetcherKind::Eip128,
+        "sn4l" => PrefetcherKind::SnfourlDis,
+        "sn4lbtb" => PrefetcherKind::SnfourlDisBtb,
+        "rdip" => PrefetcherKind::Rdip,
+        "perfect" => PrefetcherKind::Perfect,
+        _ => usage(),
+    }
+}
+
+fn parse_direction(s: &str) -> DirectionConfig {
+    match s {
+        "tage9" => DirectionConfig::Tage(TageConfig::kb9()),
+        "tage18" => DirectionConfig::Tage(TageConfig::kb18()),
+        "tage36" => DirectionConfig::Tage(TageConfig::kb36()),
+        "gshare" => DirectionConfig::Gshare(GshareConfig::default()),
+        "perfect" => DirectionConfig::Perfect,
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name = "server_a".to_string();
+    let mut instrs = 200_000u64;
+    let mut warmup = 50_000u64;
+    let mut cfg = CoreConfig::fdp();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--workload" => name = val(),
+            "--list-workloads" => {
+                for w in workload::suite() {
+                    println!("{} ({})", w.name, w.family);
+                }
+                return;
+            }
+            "--instrs" => instrs = val().parse().unwrap_or_else(|_| usage()),
+            "--warmup" => warmup = val().parse().unwrap_or_else(|_| usage()),
+            "--ftq" => cfg.ftq_entries = val().parse().unwrap_or_else(|_| usage()),
+            "--btb" => cfg = cfg.with_btb_entries(val().parse().unwrap_or_else(|_| usage())),
+            "--btb-latency" => cfg.btb_latency = val().parse().unwrap_or_else(|_| usage()),
+            "--pred-bw" => cfg.pred_bw = val().parse().unwrap_or_else(|_| usage()),
+            "--policy" => cfg.policy = parse_policy(&val()),
+            "--direction" => cfg.direction = parse_direction(&val()),
+            "--prefetcher" => cfg.prefetcher = parse_prefetcher(&val()),
+            "--no-pfc" => cfg.pfc = false,
+            "--loop-predictor" => cfg.loop_predictor = true,
+            "--perfect-btb" => cfg.perfect_btb = true,
+            "--no-fdp" => {
+                cfg.ftq_entries = 2;
+                cfg.pfc = false;
+            }
+            _ => usage(),
+        }
+    }
+
+    let wl = workload::suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload '{name}' (try --list-workloads)");
+            std::process::exit(2);
+        });
+    let program = wl.build();
+    eprintln!(
+        "workload {}: {} KB code, {} static branches",
+        program.name(),
+        program.image().footprint_bytes() / 1024,
+        program.static_branch_count()
+    );
+
+    let s = run_workload(&cfg, &program, warmup, instrs);
+    println!("cycles               {:>12}", s.cycles);
+    println!("instructions         {:>12}", s.retired);
+    println!("IPC                  {:>12.4}", s.ipc());
+    println!("branches             {:>12}", s.retired_branches);
+    println!("branch MPKI          {:>12.2}", s.branch_mpki());
+    println!(
+        "  cond-dir / undetected / indirect / return  {} / {} / {} / {}",
+        s.misp_cond_dir, s.misp_undetected, s.misp_indirect, s.misp_return
+    );
+    println!("L1I MPKI             {:>12.2}", s.l1i_mpki());
+    println!("I$ tag accesses/KI   {:>12.1}", s.icache_tag_pki());
+    println!("starvation cyc/KI    {:>12.1}", s.starvation_pki());
+    println!("avg FTQ occupancy    {:>12.1}", s.avg_ftq_occupancy());
+    println!(
+        "PFC restreams        {:>12}  (case1 {}, case2 {}, harmful {})",
+        s.pfc_restreams, s.pfc_case1, s.pfc_case2, s.pfc_harmful
+    );
+    println!("history fixups       {:>12}", s.fixup_flushes);
+    println!(
+        "miss exposure        covered {} / partial {} / full {} (exposed {:.0}%)",
+        s.miss_covered,
+        s.miss_partial,
+        s.miss_full,
+        100.0 * s.exposed_fraction()
+    );
+    println!(
+        "prefetch             {} candidates, {} fills, {} useful, {} dropped",
+        s.prefetch_candidates,
+        s.l1i.prefetch_fills,
+        s.l1i.useful_prefetches,
+        s.l1i.prefetch_dropped
+    );
+    println!("BTB hit rate         {:>12.3}", s.btb_hit_rate());
+    println!("DRAM accesses        {:>12}", s.traffic.dram_accesses);
+}

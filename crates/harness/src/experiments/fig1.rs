@@ -1,0 +1,38 @@
+//! Fig. 1 — the prefetching limit study that motivates the paper: the
+//! IPC-1 prefetchers with and without a deep-FTQ FDP frontend.
+
+use super::baseline;
+use crate::report::{Report, Table};
+use crate::runner::Runner;
+use fdip_prefetch::PrefetcherKind;
+use fdip_sim::CoreConfig;
+
+pub(super) fn run(runner: &Runner) -> Report {
+    let mut report = Report::new("fig1");
+    let base = baseline(runner);
+
+    let prefetchers = [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::FnlMma,
+        PrefetcherKind::Djolt,
+        PrefetcherKind::Eip128,
+        PrefetcherKind::Perfect,
+    ];
+
+    let mut t = Table::new(
+        "Fig. 1 — speedup over baseline (no prefetch, no FDP), %",
+        &["prefetcher", "no FDP (2-entry FTQ)", "FDP (24-entry FTQ)"],
+    );
+    for pk in prefetchers {
+        let no_fdp = runner.run_config(&CoreConfig::no_fdp().with_prefetcher(pk));
+        let fdp = runner.run_config(&CoreConfig::fdp().with_prefetcher(pk));
+        let s0 = Runner::speedup_pct(&base, &no_fdp);
+        let s1 = Runner::speedup_pct(&base, &fdp);
+        t.row_f(pk.label(), &[s0, s1]);
+        report.metric(&format!("{}_nofdp_pct", pk.label()), s0);
+        report.metric(&format!("{}_fdp_pct", pk.label()), s1);
+    }
+    report.tables.push(t);
+    report
+}

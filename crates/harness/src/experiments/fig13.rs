@@ -1,0 +1,46 @@
+//! Fig. 13 — prediction bandwidth (B6/B12/B18/B18m) and BTB latency
+//! (1–4 cycles) sensitivity (§VI-F3).
+
+use super::baseline;
+use crate::report::{Report, Table};
+use crate::runner::Runner;
+use fdip_sim::CoreConfig;
+
+pub(super) fn run(runner: &Runner) -> Report {
+    let mut report = Report::new("fig13");
+    let base = baseline(runner);
+
+    let mut t = Table::new(
+        "Fig. 13a — FDP speedup over baseline (%), by prediction bandwidth",
+        &["bandwidth", "speedup %"],
+    );
+    let bws: [(&str, usize, bool); 4] =
+        [("B6", 6, false), ("B12", 12, false), ("B18", 18, false), ("B18m", 18, true)];
+    for (label, bw, multi) in bws {
+        let cfg = CoreConfig {
+            pred_bw: bw,
+            multi_taken: multi,
+            ..CoreConfig::fdp()
+        };
+        let s = Runner::speedup_pct(&base, &runner.run_config(&cfg));
+        t.row_f(label, &[s]);
+        report.metric(&format!("speedup_{label}"), s);
+    }
+    report.tables.push(t);
+
+    let mut t2 = Table::new(
+        "Fig. 13b — FDP speedup over baseline (%), by BTB latency",
+        &["BTB latency", "speedup %"],
+    );
+    for lat in 1u64..=4 {
+        let cfg = CoreConfig {
+            btb_latency: lat,
+            ..CoreConfig::fdp()
+        };
+        let s = Runner::speedup_pct(&base, &runner.run_config(&cfg));
+        t2.row_f(&format!("{lat} cycle"), &[s]);
+        report.metric(&format!("speedup_btblat{lat}"), s);
+    }
+    report.tables.push(t2);
+    report
+}

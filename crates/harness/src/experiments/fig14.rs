@@ -1,0 +1,48 @@
+//! Fig. 14 — FTQ size sensitivity: speedup normalised to a 2-entry FTQ
+//! plus the exposure classification of I-cache misses (§VI-G).
+
+use crate::report::{Report, Table};
+use crate::runner::Runner;
+use fdip_sim::CoreConfig;
+
+pub(super) fn run(runner: &Runner) -> Report {
+    let mut report = Report::new("fig14");
+    // Normalised to the 2-entry FTQ (== no FDP), as in the paper.
+    let base = runner.run_config(&CoreConfig::fdp().with_ftq(2));
+    let base_exposed: f64 =
+        Runner::mean_of(&base, |s| (s.miss_partial + s.miss_full) as f64);
+
+    let mut t = Table::new(
+        "Fig. 14 — FTQ size sensitivity (speedup vs 2-entry FTQ; miss exposure)",
+        &[
+            "FTQ entries",
+            "speedup %",
+            "covered",
+            "partial",
+            "full",
+            "exposed frac",
+        ],
+    );
+    for entries in [2usize, 4, 8, 12, 16, 24, 32] {
+        let stats = runner.run_config(&CoreConfig::fdp().with_ftq(entries));
+        let s = Runner::speedup_pct(&base, &stats);
+        let covered = Runner::mean_of(&stats, |s| s.miss_covered as f64);
+        let partial = Runner::mean_of(&stats, |s| s.miss_partial as f64);
+        let full = Runner::mean_of(&stats, |s| s.miss_full as f64);
+        let frac = Runner::mean_of(&stats, |s| s.exposed_fraction());
+        t.row_f(&entries.to_string(), &[s, covered, partial, full, frac]);
+        report.metric(&format!("speedup_ftq{entries}"), s);
+        report.metric(&format!("exposed_frac_ftq{entries}"), frac);
+        if entries == 24 {
+            let exposed = partial + full;
+            let removed = if base_exposed > 0.0 {
+                100.0 * (1.0 - exposed / base_exposed)
+            } else {
+                0.0
+            };
+            report.metric("exposed_removed_at_24_pct", removed);
+        }
+    }
+    report.tables.push(t);
+    report
+}

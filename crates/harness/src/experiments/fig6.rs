@@ -1,0 +1,86 @@
+//! Fig. 6 — instruction prefetching performance: (a) suite-level speedup
+//! of each prefetcher with FDP off/on, plus perfect-BTB upper bounds;
+//! (b) per-workload EIP-128KB improvement against branch MPKI.
+
+use super::baseline;
+use crate::report::{Report, Table};
+use crate::runner::Runner;
+use fdip_prefetch::PrefetcherKind;
+use fdip_sim::CoreConfig;
+
+pub(super) fn run_a(runner: &Runner) -> Report {
+    let mut report = Report::new("fig6a");
+    let base = baseline(runner);
+
+    let prefetchers = [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::FnlMma,
+        PrefetcherKind::Djolt,
+        PrefetcherKind::Eip27,
+        PrefetcherKind::Eip128,
+        PrefetcherKind::Perfect,
+    ];
+
+    let mut t = Table::new(
+        "Fig. 6a — speedup over baseline, %",
+        &["config", "no FDP", "FDP"],
+    );
+    for pk in prefetchers {
+        let s0 = Runner::speedup_pct(
+            &base,
+            &runner.run_config(&CoreConfig::no_fdp().with_prefetcher(pk)),
+        );
+        let s1 = Runner::speedup_pct(
+            &base,
+            &runner.run_config(&CoreConfig::fdp().with_prefetcher(pk)),
+        );
+        t.row_f(pk.label(), &[s0, s1]);
+        report.metric(&format!("{}_nofdp_pct", pk.label()), s0);
+        report.metric(&format!("{}_fdp_pct", pk.label()), s1);
+    }
+
+    // Perfect-BTB bounds (§VI-A: +3.4% on FDP in the paper).
+    let perfect_btb = CoreConfig {
+        perfect_btb: true,
+        ..CoreConfig::fdp()
+    };
+    let s_btb = Runner::speedup_pct(&base, &runner.run_config(&perfect_btb));
+    t.row_f("FDP+perfBTB", &[f64::NAN, s_btb]);
+    report.metric("fdp_perfbtb_pct", s_btb);
+    let s_all = Runner::speedup_pct(
+        &base,
+        &runner.run_config(&perfect_btb.with_prefetcher(PrefetcherKind::Perfect)),
+    );
+    t.row_f("FDP+perfBTB+Perfect", &[f64::NAN, s_all]);
+    report.metric("fdp_perfbtb_perfect_pct", s_all);
+    report.tables.push(t);
+    report
+}
+
+pub(super) fn run_b(runner: &Runner) -> Report {
+    let mut report = Report::new("fig6b");
+    let base_no_fdp = runner.run_config(&CoreConfig::no_fdp());
+    let eip_no_fdp = runner.run_config(&CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Eip128));
+    let base_fdp = runner.run_config(&CoreConfig::fdp());
+    let eip_fdp = runner.run_config(&CoreConfig::fdp().with_prefetcher(PrefetcherKind::Eip128));
+
+    let mut t = Table::new(
+        "Fig. 6b — per-workload EIP-128KB improvement (%, vs same-frontend no-prefetch)",
+        &["workload", "branch MPKI", "no FDP", "with FDP"],
+    );
+    let mut max_no_fdp: f64 = 0.0;
+    let mut max_fdp: f64 = 0.0;
+    for (i, name) in runner.names().iter().enumerate() {
+        let mpki = base_no_fdp[i].branch_mpki();
+        let up0 = 100.0 * (eip_no_fdp[i].ipc() / base_no_fdp[i].ipc() - 1.0);
+        let up1 = 100.0 * (eip_fdp[i].ipc() / base_fdp[i].ipc() - 1.0);
+        max_no_fdp = max_no_fdp.max(up0);
+        max_fdp = max_fdp.max(up1);
+        t.row_f(name, &[mpki, up0, up1]);
+    }
+    report.metric("max_uplift_nofdp_pct", max_no_fdp);
+    report.metric("max_uplift_fdp_pct", max_fdp);
+    report.tables.push(t);
+    report
+}

@@ -1,0 +1,31 @@
+//! Fig. 7 — PFC effectiveness as the BTB shrinks from 32K to 1K entries.
+
+use super::baseline;
+use crate::report::{Report, Table};
+use crate::runner::Runner;
+use fdip_sim::CoreConfig;
+
+pub(super) fn run(runner: &Runner) -> Report {
+    let mut report = Report::new("fig7");
+    let base = baseline(runner);
+    let mut t = Table::new(
+        "Fig. 7 — FDP speedup over baseline (%) and branch MPKI, by BTB size",
+        &["BTB entries", "PFC off %", "PFC on %", "MPKI off", "MPKI on"],
+    );
+    for entries in [1024usize, 2048, 4096, 8192, 16384, 32768] {
+        let off = runner.run_config(&CoreConfig::fdp().with_btb_entries(entries).with_pfc(false));
+        let on = runner.run_config(&CoreConfig::fdp().with_btb_entries(entries).with_pfc(true));
+        let s_off = Runner::speedup_pct(&base, &off);
+        let s_on = Runner::speedup_pct(&base, &on);
+        let m_off = Runner::mean_mpki(&off);
+        let m_on = Runner::mean_mpki(&on);
+        let label = format!("{}K", entries / 1024);
+        t.row_f(&label, &[s_off, s_on, m_off, m_on]);
+        report.metric(&format!("speedup_{label}_pfc_off"), s_off);
+        report.metric(&format!("speedup_{label}_pfc_on"), s_on);
+        report.metric(&format!("mpki_{label}_pfc_off"), m_off);
+        report.metric(&format!("mpki_{label}_pfc_on"), m_on);
+    }
+    report.tables.push(t);
+    report
+}

@@ -1,0 +1,48 @@
+//! Fig. 9 — ISO-budget comparison: an 8K-entry BTB vs a 4K-entry BTB
+//! plus EIP-27KB (similar storage, §VI-D), on top of FDP.
+
+use super::baseline;
+use crate::report::{Report, Table};
+use crate::runner::Runner;
+use fdip_prefetch::PrefetcherKind;
+use fdip_sim::{CoreConfig, SimStats};
+
+pub(super) fn run(runner: &Runner) -> Report {
+    let mut report = Report::new("fig9");
+    let base = baseline(runner);
+    let configs: [(&str, CoreConfig); 3] = [
+        ("8K-BTB", CoreConfig::fdp().with_btb_entries(8192)),
+        (
+            "4K-BTB+EIP-27KB",
+            CoreConfig::fdp()
+                .with_btb_entries(4096)
+                .with_prefetcher(PrefetcherKind::Eip27),
+        ),
+        ("4K-BTB", CoreConfig::fdp().with_btb_entries(4096)),
+    ];
+    let mut t = Table::new(
+        "Fig. 9 — ISO-budget comparison (on FDP)",
+        &[
+            "config",
+            "speedup %",
+            "branch MPKI",
+            "starvation cyc/KI",
+            "I$ tag accesses/KI",
+        ],
+    );
+    for (label, cfg) in configs {
+        let stats = runner.run_config(&cfg);
+        let speedup = Runner::speedup_pct(&base, &stats);
+        let mpki = Runner::mean_mpki(&stats);
+        let starv = Runner::mean_of(&stats, SimStats::starvation_pki);
+        let tags = Runner::mean_of(&stats, SimStats::icache_tag_pki);
+        t.row_f(label, &[speedup, mpki, starv, tags]);
+        let key = label.replace(['-', '+'], "_");
+        report.metric(&format!("speedup_{key}"), speedup);
+        report.metric(&format!("mpki_{key}"), mpki);
+        report.metric(&format!("starv_{key}"), starv);
+        report.metric(&format!("tags_{key}"), tags);
+    }
+    report.tables.push(t);
+    report
+}

@@ -1,0 +1,135 @@
+//! The experiment registry: one entry per table/figure of the paper.
+//!
+//! All speedups are geometric-mean IPC improvements over the paper's
+//! baseline — **no prefetching, no FDP** (a 2-entry FTQ) — and MPKI is
+//! the arithmetic mean, exactly as §V specifies.
+
+mod fig1;
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig13;
+mod fig14;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod tables;
+
+use crate::report::Report;
+use crate::runner::Runner;
+use fdip_sim::{CoreConfig, SimStats};
+
+/// A registered experiment.
+pub struct Experiment {
+    /// Short id used on the command line (`fig7`).
+    pub id: &'static str,
+    /// What it reproduces.
+    pub title: &'static str,
+    /// Entry point.
+    pub run: fn(&Runner) -> Report,
+}
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig1",
+            title: "Fig. 1 — prefetching limit study (IPC-1 framework)",
+            run: fig1::run,
+        },
+        Experiment {
+            id: "tab3",
+            title: "Table III — FTQ hardware overhead",
+            run: tables::tab3,
+        },
+        Experiment {
+            id: "tab4",
+            title: "Table IV — common core parameters",
+            run: tables::tab4,
+        },
+        Experiment {
+            id: "fig6a",
+            title: "Fig. 6a — IPC improvement by instruction prefetching",
+            run: fig6::run_a,
+        },
+        Experiment {
+            id: "fig6b",
+            title: "Fig. 6b — per-workload EIP-128KB improvement vs branch MPKI",
+            run: fig6::run_b,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Fig. 7 — PFC vs BTB size",
+            run: fig7::run,
+        },
+        Experiment {
+            id: "fig8",
+            title: "Fig. 8 — branch history management (Table V policies)",
+            run: fig8::run,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Fig. 9 — ISO-budget comparison (BTB vs dedicated prefetcher)",
+            run: fig9::run,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Fig. 10 — BTB prefetching with PFC (Divide-and-Conquer)",
+            run: fig10::run,
+        },
+        Experiment {
+            id: "fig11",
+            title: "Fig. 11 — BTB capacity sensitivity",
+            run: fig11::run,
+        },
+        Experiment {
+            id: "fig12",
+            title: "Fig. 12 — branch direction predictor sensitivity",
+            run: fig12::run,
+        },
+        Experiment {
+            id: "fig13",
+            title: "Fig. 13 — prediction bandwidth / BTB latency sensitivity",
+            run: fig13::run,
+        },
+        Experiment {
+            id: "fig14",
+            title: "Fig. 14 — FTQ size sensitivity and exposure classification",
+            run: fig14::run,
+        },
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+/// The paper's reference baseline: no prefetching, no FDP.
+pub(crate) fn baseline(runner: &Runner) -> Vec<SimStats> {
+    runner.run_config(&CoreConfig::no_fdp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_artifact() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        for want in [
+            "fig1", "tab3", "tab4", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14",
+        ] {
+            assert!(ids.contains(&want), "missing {want}");
+        }
+        assert_eq!(ids.len(), 13);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("fig7").is_some());
+        assert!(by_id("nope").is_none());
+    }
+}

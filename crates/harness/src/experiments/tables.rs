@@ -1,0 +1,53 @@
+//! Tables III and IV: structural artifacts computed from the live
+//! configuration (no simulation).
+
+use crate::report::{Report, Table};
+use crate::runner::Runner;
+use fdip_sim::ftq::{ftq_overhead_bytes, FTQ_FIELD_BITS};
+use fdip_sim::CoreConfig;
+
+pub(super) fn tab3(_runner: &Runner) -> Report {
+    let mut report = Report::new("tab3");
+    let mut t = Table::new("Table III — FTQ hardware overhead", &["field", "size"]);
+    for (name, bits) in FTQ_FIELD_BITS {
+        t.row(vec![name.to_string(), format!("{bits}-bit")]);
+    }
+    let cfg = CoreConfig::fdp();
+    let total = ftq_overhead_bytes(cfg.ftq_entries);
+    t.row(vec![
+        format!("Total ({}-entry)", cfg.ftq_entries),
+        format!("{total} bytes"),
+    ]);
+    report.metric("total_bytes", total as f64);
+    report.metric("hint_bytes", (cfg.ftq_entries * 8 / 8) as f64);
+    report.tables.push(t);
+    report
+}
+
+pub(super) fn tab4(_runner: &Runner) -> Report {
+    let mut report = Report::new("tab4");
+    let cfg = CoreConfig::fdp();
+    let mut t = Table::new("Table IV — common core parameters", &["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("Fetch width", format!("{} instructions/cycle", cfg.fetch_width)),
+        ("Decode width", format!("{}", cfg.decode_width)),
+        ("Prediction bandwidth", format!("{} instructions/cycle", cfg.pred_bw)),
+        ("FTQ", format!("{} entries (32B blocks)", cfg.ftq_entries)),
+        ("BTB", format!("{} entries, {}-way, {}-cycle", cfg.btb.entries, cfg.btb.assoc, cfg.btb_latency)),
+        ("History policy", cfg.policy.label().to_string()),
+        ("PFC", format!("{}", cfg.pfc)),
+        ("ROB", format!("{} entries", cfg.backend.rob_size)),
+        ("Retire width", format!("{}", cfg.backend.retire_width)),
+        ("L1I", format!("{} KB", cfg.mem.l1i.size_bytes / 1024)),
+        ("L1D", format!("{} KB", cfg.mem.l1d.size_bytes / 1024)),
+        ("L2", format!("{} KB", cfg.mem.l2.size_bytes / 1024)),
+        ("LLC", format!("{} KB", cfg.mem.llc.size_bytes / 1024)),
+        ("DRAM latency", format!("{} cycles", cfg.mem.dram_latency)),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    report.metric("btb_entries", cfg.btb.entries as f64);
+    report.tables.push(t);
+    report
+}

@@ -1,0 +1,157 @@
+//! Text-table reports mirroring the paper's figures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (e.g. "Fig. 7 — PFC vs BTB size").
+    pub title: String,
+    /// Column headers; the first column is the row label.
+    pub columns: Vec<String>,
+    /// Rows: label + one cell per remaining column.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells (must match the column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: formats `f64` cells with 2 decimals after a label.
+    pub fn row_f(&mut self, label: &str, values: &[f64]) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.2}")));
+        self.row(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// One experiment's output: tables for humans, metrics for tests and
+/// `EXPERIMENTS.md`.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Experiment id (`fig7`, `tab3`, …).
+    pub id: String,
+    /// Human-readable tables.
+    pub tables: Vec<Table>,
+    /// Named scalar results (e.g. `fdp_speedup_pct`).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Report {
+    /// Creates an empty report for an experiment id.
+    pub fn new(id: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            ..Report::default()
+        }
+    }
+
+    /// Records a named scalar metric.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_string(), value);
+    }
+
+    /// Reads a named scalar metric.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        if !self.metrics.is_empty() {
+            writeln!(f, "metrics:")?;
+            for (k, v) in &self.metrics {
+                writeln!(f, "  {k} = {v:.4}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_aligned() {
+        let mut t = Table::new("T", &["cfg", "speedup"]);
+        t.row_f("baseline", &[1.0]);
+        t.row_f("fdp", &[1.41]);
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("1.41"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn report_metrics_round_trip() {
+        let mut r = Report::new("fig7");
+        r.metric("x", 1.5);
+        assert_eq!(r.get("x"), Some(1.5));
+        assert_eq!(r.get("y"), None);
+        assert!(r.to_string().contains("x = 1.5000"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Workload-suite runner: builds the synthetic programs once, runs a
+//! `CoreConfig` over every workload (in parallel), and aggregates the way
+//! the paper does (geometric-mean IPC speedups, arithmetic-mean MPKI).
+
+use fdip_program::workload::{self, Workload};
+use fdip_program::Program;
+use fdip_sim::{CoreConfig, SimStats, Simulator};
+
+/// Geometric mean of a slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// The evaluation driver: a built workload suite plus run lengths.
+pub struct Runner {
+    workloads: Vec<(Workload, Program)>,
+    warmup: u64,
+    measure: u64,
+}
+
+impl Runner {
+    /// Builds a runner over the given workloads.
+    pub fn new(workloads: Vec<Workload>, warmup: u64, measure: u64) -> Self {
+        let built = workloads
+            .into_iter()
+            .map(|w| {
+                let p = w.build();
+                (w, p)
+            })
+            .collect();
+        Runner {
+            workloads: built,
+            warmup,
+            measure,
+        }
+    }
+
+    /// Builds the default runner from the environment:
+    /// `FDIP_SUITE` (`full`/`quick`), `FDIP_WARMUP`, `FDIP_INSTRS`.
+    pub fn from_env() -> Self {
+        let suite = match std::env::var("FDIP_SUITE").as_deref() {
+            Ok("quick") => workload::quick_suite(),
+            _ => workload::suite(),
+        };
+        let warmup = std::env::var("FDIP_WARMUP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50_000);
+        let measure = std::env::var("FDIP_INSTRS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000);
+        Runner::new(suite, warmup, measure)
+    }
+
+    /// A small fixed-size runner for tests and benches.
+    pub fn quick(warmup: u64, measure: u64) -> Self {
+        Runner::new(workload::quick_suite(), warmup, measure)
+    }
+
+    /// Workload names, in run order.
+    pub fn names(&self) -> Vec<&str> {
+        self.workloads.iter().map(|(w, _)| w.name.as_str()).collect()
+    }
+
+    /// Number of workloads.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Returns `true` if the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// Runs `cfg` over every workload (one thread per workload) and
+    /// returns per-workload statistics in suite order.
+    pub fn run_config(&self, cfg: &CoreConfig) -> Vec<SimStats> {
+        let (warmup, measure) = (self.warmup, self.measure);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workloads
+                .iter()
+                .map(|(_, program)| {
+                    let cfg = cfg.clone();
+                    scope.spawn(move || {
+                        let mut sim = Simulator::new(cfg, program, 0xf0cc_ed);
+                        sim.run(warmup, measure)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+        })
+    }
+
+    /// Geometric-mean IPC speedup of `other` over `base`, in percent
+    /// (the paper's headline aggregation).
+    pub fn speedup_pct(base: &[SimStats], other: &[SimStats]) -> f64 {
+        assert_eq!(base.len(), other.len());
+        let ratios: Vec<f64> = base
+            .iter()
+            .zip(other)
+            .map(|(b, o)| o.ipc() / b.ipc())
+            .collect();
+        100.0 * (geomean(&ratios) - 1.0)
+    }
+
+    /// Arithmetic-mean branch MPKI (the paper's MPKI aggregation).
+    pub fn mean_mpki(stats: &[SimStats]) -> f64 {
+        if stats.is_empty() {
+            return 0.0;
+        }
+        stats.iter().map(SimStats::branch_mpki).sum::<f64>() / stats.len() as f64
+    }
+
+    /// Arithmetic mean of an arbitrary per-workload metric.
+    pub fn mean_of(stats: &[SimStats], f: impl Fn(&SimStats) -> f64) -> f64 {
+        if stats.is_empty() {
+            return 0.0;
+        }
+        stats.iter().map(f).sum::<f64>() / stats.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn quick_runner_runs_three_workloads() {
+        let r = Runner::quick(2_000, 8_000);
+        assert_eq!(r.len(), 3);
+        let stats = r.run_config(&CoreConfig::fdp());
+        assert_eq!(stats.len(), 3);
+        for s in &stats {
+            assert!(s.retired >= 8_000 - 8);
+        }
+    }
+
+    #[test]
+    fn speedup_of_identical_runs_is_zero() {
+        let r = Runner::quick(1_000, 5_000);
+        let a = r.run_config(&CoreConfig::fdp());
+        let b = r.run_config(&CoreConfig::fdp());
+        let s = Runner::speedup_pct(&a, &b);
+        assert!(s.abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn mean_mpki_aggregates() {
+        let r = Runner::quick(1_000, 5_000);
+        let stats = r.run_config(&CoreConfig::fdp());
+        let m = Runner::mean_mpki(&stats);
+        assert!(m >= 0.0 && m < 200.0);
+    }
+}

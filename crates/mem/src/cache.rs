@@ -1,0 +1,403 @@
+//! A set-associative cache with LRU replacement and ready-time tracking.
+//!
+//! The timing model is the "ready-at" style used by trace-driven frontend
+//! simulators: an access returns the cycle at which its data is available.
+//! A missing line is filled immediately but marked *pending* until its
+//! ready cycle, so later accesses to an in-flight line merge onto the same
+//! fill (MSHR-style) instead of seeing an instant hit.
+
+use fdip_types::Cycle;
+use std::collections::HashMap;
+
+/// Geometry and timing of one cache level.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub size_bytes: usize,
+    /// Ways per set.
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Latency from access to data for a hit, in cycles.
+    pub hit_latency: u64,
+    /// Maximum in-flight fills; *prefetch* requests beyond this are
+    /// dropped (demand requests are always accepted).
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.assoc * self.line_bytes)
+    }
+}
+
+/// Per-cache event counters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Demand accesses.
+    pub demand_accesses: u64,
+    /// Demand hits (including hits on still-pending lines).
+    pub demand_hits: u64,
+    /// Demand misses.
+    pub demand_misses: u64,
+    /// Demand hits that merged onto an in-flight fill.
+    pub demand_merged: u64,
+    /// Prefetch requests received.
+    pub prefetch_requests: u64,
+    /// Prefetch requests that initiated a fill.
+    pub prefetch_fills: u64,
+    /// Prefetches dropped because the MSHRs were full.
+    pub prefetch_dropped: u64,
+    /// Demand accesses that hit a line brought in by a prefetch.
+    pub useful_prefetches: u64,
+    /// Tag-array probes (every lookup, hit or miss, demand or prefetch).
+    pub tag_probes: u64,
+    /// Lines evicted.
+    pub evictions: u64,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Line {
+    tag: u64,
+    lru: u64,
+    /// Brought in by a prefetch and not yet referenced by demand.
+    prefetched: bool,
+}
+
+/// Result of a cache probe.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Lookup {
+    /// Present; data ready at the given cycle (>= now for pending lines).
+    Hit(Cycle),
+    /// Absent.
+    Miss,
+}
+
+/// One cache level.
+///
+/// Addresses are *line numbers* (byte address / line size); the caller
+/// does the division once.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_mem::{Cache, CacheConfig, Lookup};
+///
+/// let mut c = Cache::new("L1I", CacheConfig {
+///     size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, hit_latency: 1, mshrs: 8,
+/// });
+/// assert_eq!(c.probe_demand(42, 100), Lookup::Miss);
+/// c.fill(42, 180, false);
+/// assert_eq!(c.probe_demand(42, 200), Lookup::Hit(201));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    name: &'static str,
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    /// line -> ready cycle, for in-flight fills.
+    pending: HashMap<u64, Cycle>,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a positive power of two.
+    pub fn new(name: &'static str, config: CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "{name}: set count must be a power of two, got {sets}"
+        );
+        Cache {
+            name,
+            config,
+            sets: vec![Vec::with_capacity(config.assoc); sets],
+            pending: HashMap::new(),
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Geometry in use.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Event counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line as usize) & (self.sets.len() - 1)
+    }
+
+    fn find(&mut self, line: u64, touch: bool) -> Option<&mut Line> {
+        let set = self.set_index(line);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let l = self.sets[set].iter_mut().find(|l| l.tag == line)?;
+        if touch {
+            l.lru = stamp;
+        }
+        Some(l)
+    }
+
+    /// Ready cycle for a present line (merging onto a pending fill when
+    /// one is in flight), or `None`.
+    fn ready_cycle(&mut self, line: u64, now: Cycle) -> Option<Cycle> {
+        match self.pending.get(&line) {
+            Some(&r) if r > now => Some(r),
+            Some(_) => {
+                self.pending.remove(&line);
+                Some(now + self.config.hit_latency)
+            }
+            None => Some(now + self.config.hit_latency),
+        }
+    }
+
+    /// Demand probe: updates LRU, counts stats, detects useful prefetches.
+    pub fn probe_demand(&mut self, line: u64, now: Cycle) -> Lookup {
+        self.stats.tag_probes += 1;
+        self.stats.demand_accesses += 1;
+        let hit = if let Some(l) = self.find(line, true) {
+            if l.prefetched {
+                l.prefetched = false;
+                self.stats.useful_prefetches += 1;
+            }
+            true
+        } else {
+            false
+        };
+        if hit {
+            self.stats.demand_hits += 1;
+            let was_pending = self.pending.get(&line).is_some_and(|&r| r > now);
+            if was_pending {
+                self.stats.demand_merged += 1;
+            }
+            Lookup::Hit(self.ready_cycle(line, now).expect("present"))
+        } else {
+            self.stats.demand_misses += 1;
+            Lookup::Miss
+        }
+    }
+
+    /// Tag-only probe for prefetchers and fill filters: counts a tag
+    /// access, does not touch LRU or demand stats.
+    pub fn probe_tag(&mut self, line: u64) -> bool {
+        self.stats.tag_probes += 1;
+        let set = self.set_index(line);
+        self.sets[set].iter().any(|l| l.tag == line)
+    }
+
+    /// Silent presence check (no statistics; for tests and oracles).
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_index(line);
+        self.sets[set].iter().any(|l| l.tag == line)
+    }
+
+    /// Accounts a prefetch request arriving at this cache at cycle `now`.
+    /// Returns `true` if the line was absent and the caller should
+    /// perform the fill (i.e. MSHR space was available and the line is
+    /// not already present or in flight).
+    pub fn note_prefetch(&mut self, line: u64, now: Cycle) -> bool {
+        self.stats.prefetch_requests += 1;
+        if self.probe_tag(line) || self.pending.contains_key(&line) {
+            return false;
+        }
+        if self.pending.len() >= self.config.mshrs {
+            // Completed fills release their MSHRs; purge lazily.
+            self.pending.retain(|_, &mut ready| ready > now);
+        }
+        if self.pending.len() >= self.config.mshrs {
+            self.stats.prefetch_dropped += 1;
+            return false;
+        }
+        self.stats.prefetch_fills += 1;
+        true
+    }
+
+    /// Installs `line`, available at cycle `ready`, evicting LRU if the
+    /// set is full. `prefetched` marks prefetch-brought lines for
+    /// usefulness accounting.
+    pub fn fill(&mut self, line: u64, ready: Cycle, prefetched: bool) {
+        let set = self.set_index(line);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = &mut self.sets[set];
+        if let Some(l) = ways.iter_mut().find(|l| l.tag == line) {
+            // Refill of a present line: refresh only.
+            l.lru = stamp;
+            return;
+        }
+        if ways.len() >= self.config.assoc {
+            let victim_idx = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("set not empty");
+            let victim = ways.swap_remove(victim_idx);
+            self.pending.remove(&victim.tag);
+            self.stats.evictions += 1;
+        }
+        ways.push(Line {
+            tag: line,
+            lru: stamp,
+            prefetched,
+        });
+        if ready > 0 {
+            self.pending.insert(line, ready);
+        }
+    }
+
+    /// Number of in-flight fills.
+    pub fn inflight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(
+            "T",
+            CacheConfig {
+                size_bytes: 1024,
+                assoc: 2,
+                line_bytes: 64,
+                hit_latency: 2,
+                mshrs: 4,
+            },
+        )
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut c = small();
+        assert_eq!(c.probe_demand(5, 10), Lookup::Miss);
+        c.fill(5, 50, false);
+        // Before ready: merged hit at the fill's ready time.
+        assert_eq!(c.probe_demand(5, 20), Lookup::Hit(50));
+        // After ready: normal hit latency.
+        assert_eq!(c.probe_demand(5, 60), Lookup::Hit(62));
+        let s = c.stats();
+        assert_eq!(s.demand_misses, 1);
+        assert_eq!(s.demand_hits, 2);
+        assert_eq!(s.demand_merged, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = small(); // 8 sets, 2 ways
+        // Three lines mapping to set 0 (multiples of 8).
+        c.fill(0, 0, false);
+        c.fill(8, 0, false);
+        c.probe_demand(0, 1); // touch line 0 so line 8 is LRU
+        c.fill(16, 0, false);
+        assert!(c.contains(0));
+        assert!(!c.contains(8));
+        assert!(c.contains(16));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn prefetch_usefulness_tracked() {
+        let mut c = small();
+        assert!(c.note_prefetch(3, 0));
+        c.fill(3, 30, true);
+        assert_eq!(c.probe_demand(3, 40), Lookup::Hit(42));
+        assert_eq!(c.stats().useful_prefetches, 1);
+        // Second demand hit is no longer "useful".
+        c.probe_demand(3, 50);
+        assert_eq!(c.stats().useful_prefetches, 1);
+    }
+
+    #[test]
+    fn redundant_prefetch_is_filtered_but_probes_tags() {
+        let mut c = small();
+        c.fill(7, 0, false);
+        let before = c.stats().tag_probes;
+        assert!(!c.note_prefetch(7, 0));
+        assert_eq!(c.stats().tag_probes, before + 1);
+        assert_eq!(c.stats().prefetch_fills, 0);
+    }
+
+    #[test]
+    fn prefetch_mshr_limit_drops() {
+        let mut c = small(); // mshrs = 4
+        for line in 0..4 {
+            assert!(c.note_prefetch(line, 0));
+            c.fill(line, 1000, true);
+        }
+        assert_eq!(c.inflight(), 4);
+        // At cycle 10 the fills are still in flight: dropped.
+        assert!(!c.note_prefetch(100, 10));
+        assert_eq!(c.stats().prefetch_dropped, 1);
+        // Once the fills complete, MSHRs free up again.
+        assert!(c.note_prefetch(100, 2_000));
+    }
+
+    #[test]
+    fn demand_ignores_mshr_limit() {
+        let mut c = small();
+        for line in 0..4 {
+            c.fill(line, 1000, false);
+        }
+        // Demand probes still work and fills still accepted.
+        assert_eq!(c.probe_demand(50, 10), Lookup::Miss);
+        c.fill(50, 500, false);
+        assert_eq!(c.probe_demand(50, 20), Lookup::Hit(500));
+    }
+
+    #[test]
+    fn eviction_clears_pending() {
+        let mut c = small();
+        c.fill(0, 100, false);
+        c.fill(8, 100, false);
+        c.fill(16, 100, false); // evicts one of the set-0 lines
+        assert!(c.inflight() <= 2);
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let mut c = small();
+        assert_eq!(c.occupancy(), 0);
+        c.fill(1, 0, false);
+        c.fill(2, 0, false);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(
+            "bad",
+            CacheConfig {
+                size_bytes: 999,
+                assoc: 1,
+                line_bytes: 64,
+                hit_latency: 1,
+                mshrs: 1,
+            },
+        );
+    }
+}

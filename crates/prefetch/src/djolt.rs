@@ -1,0 +1,264 @@
+//! D-JOLT — the "distant jolt" prefetcher from IPC-1 (reduced-fidelity
+//! reimplementation from the championship description).
+//!
+//! D-JOLT improves on RDIP by generating its lookup signature from a
+//! **FIFO of recent function return addresses** (rather than a stack), so
+//! the signature keeps changing monotonically through deep call chains.
+//! Each signature maps to the set of I-cache miss lines observed while it
+//! was live; when the same signature recurs, those lines are prefetched.
+//! Two tables at different signature depths give a short-range and a
+//! long-range ("distant") view.
+
+use fdip_types::{Addr, BranchKind};
+
+/// D-JOLT geometry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DjoltConfig {
+    /// log2 entries per signature table.
+    pub table_log2: u32,
+    /// Miss lines recorded per signature entry.
+    pub lines_per_entry: usize,
+    /// Calls/returns folded into the short-range signature.
+    pub short_depth: usize,
+    /// Calls/returns folded into the long-range signature.
+    pub long_depth: usize,
+}
+
+impl Default for DjoltConfig {
+    fn default() -> Self {
+        DjoltConfig {
+            table_log2: 11,
+            lines_per_entry: 8,
+            short_depth: 2,
+            long_depth: 5,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct SigEntry {
+    sig: u64,
+    lines: Vec<u64>,
+}
+
+#[derive(Clone, Debug)]
+struct SigTable {
+    entries: Vec<SigEntry>,
+    mask: usize,
+    lines_per_entry: usize,
+}
+
+impl SigTable {
+    fn new(log2: u32, lines_per_entry: usize) -> Self {
+        SigTable {
+            entries: vec![SigEntry::default(); 1 << log2],
+            mask: (1 << log2) - 1,
+            lines_per_entry,
+        }
+    }
+
+    fn idx(&self, sig: u64) -> usize {
+        ((sig ^ (sig >> 17)) as usize) & self.mask
+    }
+
+    fn record(&mut self, sig: u64, line: u64) {
+        let i = self.idx(sig);
+        let e = &mut self.entries[i];
+        if e.sig != sig {
+            e.sig = sig;
+            e.lines.clear();
+        }
+        if !e.lines.contains(&line) {
+            if e.lines.len() >= self.lines_per_entry {
+                e.lines.remove(0);
+            }
+            e.lines.push(line);
+        }
+    }
+
+    fn lookup(&self, sig: u64, out: &mut Vec<u64>) {
+        let e = &self.entries[self.idx(sig)];
+        if e.sig == sig {
+            out.extend_from_slice(&e.lines);
+        }
+    }
+}
+
+/// The D-JOLT instruction prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_prefetch::{Djolt, DjoltConfig};
+/// use fdip_types::{Addr, BranchKind};
+///
+/// let mut p = Djolt::new(DjoltConfig::default());
+/// let mut out = Vec::new();
+/// p.on_branch(Addr::new(0x100), BranchKind::DirectCall, Addr::new(0x900));
+/// p.on_access(700, false, 0, &mut out); // miss recorded under the signature
+/// ```
+#[derive(Clone, Debug)]
+pub struct Djolt {
+    config: DjoltConfig,
+    short: SigTable,
+    long: SigTable,
+    /// FIFO of recent call/return site hashes.
+    fifo: Vec<u64>,
+}
+
+impl Djolt {
+    /// Creates the prefetcher.
+    pub fn new(config: DjoltConfig) -> Self {
+        Djolt {
+            config,
+            short: SigTable::new(config.table_log2, config.lines_per_entry),
+            long: SigTable::new(config.table_log2, config.lines_per_entry),
+            fifo: Vec::with_capacity(config.long_depth),
+        }
+    }
+
+    fn signature(&self, depth: usize) -> u64 {
+        let mut sig = 0xcbf2_9ce4_8422_2325u64;
+        for &h in self.fifo.iter().rev().take(depth) {
+            sig = (sig.rotate_left(13)) ^ h;
+        }
+        sig
+    }
+
+    /// Retired-branch hook: calls and returns advance the signature FIFO
+    /// and trigger prefetches for the new context — the lead comes from
+    /// the signature changing *before* the new function's lines are
+    /// demanded.
+    pub fn on_branch_prefetch(
+        &mut self,
+        pc: Addr,
+        kind: BranchKind,
+        target: Addr,
+        out: &mut Vec<u64>,
+    ) {
+        if !(kind.is_call() || kind.is_return()) {
+            return;
+        }
+        let h = (pc.raw() >> 2) ^ (target.raw() >> 2).rotate_left(21);
+        self.fifo.push(h);
+        if self.fifo.len() > self.config.long_depth {
+            self.fifo.remove(0);
+        }
+        self.short.lookup(self.signature(self.config.short_depth), out);
+        self.long.lookup(self.signature(self.config.long_depth), out);
+    }
+
+    /// Retired-branch hook without prefetch output (signature update
+    /// only).
+    pub fn on_branch(&mut self, pc: Addr, kind: BranchKind, target: Addr) {
+        let mut sink = Vec::new();
+        self.on_branch_prefetch(pc, kind, target, &mut sink);
+    }
+
+    /// Demand-access hook: misses are recorded under both live
+    /// signatures so the footprints replay on recurrence.
+    pub fn on_access(&mut self, line: u64, hit: bool, _now: fdip_types::Cycle, out: &mut Vec<u64>) {
+        let _ = out;
+        if !hit {
+            self.short.record(self.signature(self.config.short_depth), line);
+            self.long.record(self.signature(self.config.long_depth), line);
+        }
+    }
+
+    /// Metadata storage in bytes: each entry holds a ~16-bit partial sig
+    /// plus `lines_per_entry` 40-bit line numbers.
+    pub fn storage_bytes(&self) -> usize {
+        let per_entry = 2 + self.config.lines_per_entry * 5;
+        2 * (1usize << self.config.table_log2) * per_entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(p: &mut Djolt, site: u64, target: u64) {
+        p.on_branch(Addr::new(site), BranchKind::DirectCall, Addr::new(target));
+    }
+
+    #[test]
+    fn recurring_context_prefetches_recorded_misses() {
+        let mut p = Djolt::new(DjoltConfig::default());
+        let mut out = Vec::new();
+        // Context A: calls from sites 0x100, 0x200; misses 50, 60, 70
+        // recorded while the context is live.
+        call(&mut p, 0x100, 0x1000);
+        call(&mut p, 0x200, 0x2000);
+        for l in [50u64, 60, 70] {
+            p.on_access(l, false, 0, &mut out);
+        }
+        // Different context in between.
+        call(&mut p, 0x900, 0x9000);
+        call(&mut p, 0x901, 0x9100);
+        p.on_access(500, false, 0, &mut out);
+        // Recreate context A: re-entering it must replay the footprint.
+        out.clear();
+        p.on_branch_prefetch(
+            Addr::new(0x100),
+            BranchKind::DirectCall,
+            Addr::new(0x1000),
+            &mut out,
+        );
+        out.clear();
+        p.on_branch_prefetch(
+            Addr::new(0x200),
+            BranchKind::DirectCall,
+            Addr::new(0x2000),
+            &mut out,
+        );
+        assert!(out.contains(&50), "{out:?}");
+        assert!(out.contains(&60), "{out:?}");
+        assert!(out.contains(&70), "{out:?}");
+    }
+
+    #[test]
+    fn missing_context_prefetches_nothing() {
+        let mut p = Djolt::new(DjoltConfig::default());
+        let mut out = Vec::new();
+        call(&mut p, 0x42, 0x4200);
+        p.on_access(123, false, 0, &mut out);
+        // A fresh signature has no recorded footprint; entering another
+        // fresh context emits nothing.
+        out.clear();
+        p.on_branch_prefetch(
+            Addr::new(0x43),
+            BranchKind::DirectCall,
+            Addr::new(0x4300),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn hits_are_not_recorded() {
+        let mut p = Djolt::new(DjoltConfig::default());
+        let mut out = Vec::new();
+        call(&mut p, 0x1, 0x10);
+        p.on_access(5, true, 0, &mut out);
+        // Re-entering the context replays only recorded (missed) lines.
+        p.on_branch_prefetch(Addr::new(0x1), BranchKind::DirectCall, Addr::new(0x10), &mut out);
+        assert!(!out.contains(&5), "{out:?}");
+    }
+
+    #[test]
+    fn non_call_branches_do_not_move_signature() {
+        let mut p = Djolt::new(DjoltConfig::default());
+        let s0 = p.signature(5);
+        p.on_branch(Addr::new(0x10), BranchKind::CondDirect, Addr::new(0x20));
+        p.on_branch(Addr::new(0x30), BranchKind::DirectJump, Addr::new(0x40));
+        assert_eq!(p.signature(5), s0);
+        p.on_branch(Addr::new(0x50), BranchKind::Return, Addr::new(0x60));
+        assert_ne!(p.signature(5), s0);
+    }
+
+    #[test]
+    fn storage_is_within_ipc1_class_budget() {
+        let p = Djolt::new(DjoltConfig::default());
+        assert!(p.storage_bytes() <= 256 * 1024, "{}", p.storage_bytes());
+    }
+}

@@ -1,0 +1,189 @@
+//! Divide-and-Conquer (Ansari et al., ISCA 2020) prefetching components:
+//! SN4L + Dis (§VI-E; reduced-fidelity reimplementation).
+//!
+//! * **SN4L (selective next-four-line)**: prefetches among the next four
+//!   lines, filtered by a usefulness table — only lines that proved
+//!   useful after the trigger line before are prefetched again.
+//! * **Dis (discontinuity)**: records jumps between two I-cache miss
+//!   lines in a `DisTable`; on an access to the jump source, the recorded
+//!   discontinuous line is prefetched.
+//!
+//! The third component, **BTB prefetching**, needs the frontend's
+//! pre-decoder and BTB, so the simulator implements it (driven by
+//! [`crate::PrefetcherKind::wants_btb_prefetch`]).
+
+/// SN4L+Dis geometry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SnfourlDisConfig {
+    /// log2 entries of the SN4L usefulness table (4-bit vectors).
+    pub sn4l_log2: u32,
+    /// log2 entries of the discontinuity table.
+    pub dis_log2: u32,
+}
+
+impl Default for SnfourlDisConfig {
+    fn default() -> Self {
+        SnfourlDisConfig {
+            sn4l_log2: 13,
+            dis_log2: 12,
+        }
+    }
+}
+
+/// The SN4L+Dis prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_prefetch::{SnfourlDis, SnfourlDisConfig};
+///
+/// let mut p = SnfourlDis::new(SnfourlDisConfig::default());
+/// let mut out = Vec::new();
+/// p.on_access(10, false, 0, &mut out);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SnfourlDis {
+    config: SnfourlDisConfig,
+    /// Per (hashed) line: bitmask of which of the next 4 lines were
+    /// useful.
+    footprint: Vec<u8>,
+    /// Discontinuity table: hashed source miss line -> discontinuous
+    /// target miss line.
+    dis: Vec<u64>,
+    last_miss: u64,
+    /// Recent trigger lines, for training the footprint.
+    recent: Vec<u64>,
+}
+
+impl SnfourlDis {
+    /// Creates the prefetcher.
+    pub fn new(config: SnfourlDisConfig) -> Self {
+        SnfourlDis {
+            config,
+            footprint: vec![0; 1 << config.sn4l_log2],
+            dis: vec![0; 1 << config.dis_log2],
+            last_miss: u64::MAX,
+            recent: Vec::with_capacity(8),
+        }
+    }
+
+    fn fidx(&self, line: u64) -> usize {
+        let x = line ^ (line >> self.config.sn4l_log2 as u64);
+        (x as usize) & ((1 << self.config.sn4l_log2) - 1)
+    }
+
+    fn didx(&self, line: u64) -> usize {
+        let x = line.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        (x as usize >> 8) & ((1 << self.config.dis_log2) - 1)
+    }
+
+    /// Demand-access hook.
+    pub fn on_access(&mut self, line: u64, hit: bool, _now: fdip_types::Cycle, out: &mut Vec<u64>) {
+        // --- SN4L training: if this access is within 4 lines after a
+        // recent trigger, mark that trigger's footprint bit.
+        for &t in &self.recent {
+            let d = line.wrapping_sub(t);
+            if (1..=4).contains(&d) {
+                let i = self.fidx(t);
+                self.footprint[i] |= 1 << (d - 1);
+            }
+        }
+        self.recent.push(line);
+        if self.recent.len() > 8 {
+            self.recent.remove(0);
+        }
+
+        // --- SN4L prefetch: only previously-useful next lines.
+        let fp = self.footprint[self.fidx(line)];
+        for d in 1..=4u64 {
+            if fp & (1 << (d - 1)) != 0 {
+                out.push(line + d);
+            }
+        }
+
+        // --- Dis: record discontinuous miss-to-miss jumps and prefetch
+        // recorded ones.
+        if !hit {
+            if self.last_miss != u64::MAX {
+                let delta = line.abs_diff(self.last_miss);
+                if delta > 4 {
+                    let i = self.didx(self.last_miss);
+                    self.dis[i] = line;
+                }
+            }
+            self.last_miss = line;
+        }
+        let dis_target = self.dis[self.didx(line)];
+        if dis_target != 0 && dis_target != line {
+            out.push(dis_target);
+        }
+    }
+
+    /// Metadata storage in bytes (4-bit footprints + 40-bit dis lines).
+    pub fn storage_bytes(&self) -> usize {
+        self.footprint.len() / 2 + self.dis.len() * 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sn4l_prefetches_only_proven_next_lines() {
+        let mut p = SnfourlDis::new(SnfourlDisConfig::default());
+        let mut out = Vec::new();
+        // Train: after line 100, lines 101 and 103 are used (102/104 not).
+        for _ in 0..2 {
+            p.on_access(100, false, 0, &mut out);
+            p.on_access(101, false, 0, &mut out);
+            p.on_access(103, false, 0, &mut out);
+            p.on_access(900, false, 0, &mut out); // break the window
+        }
+        out.clear();
+        p.on_access(100, true, 0, &mut out);
+        assert!(out.contains(&101), "{out:?}");
+        assert!(out.contains(&103), "{out:?}");
+        assert!(!out.contains(&102), "{out:?}");
+        assert!(!out.contains(&104), "{out:?}");
+    }
+
+    #[test]
+    fn dis_records_discontinuities() {
+        let mut p = SnfourlDis::new(SnfourlDisConfig::default());
+        let mut out = Vec::new();
+        // Miss at 50 followed by miss at 5000: a discontinuity.
+        p.on_access(50, false, 0, &mut out);
+        p.on_access(5000, false, 0, &mut out);
+        out.clear();
+        p.on_access(50, false, 0, &mut out);
+        assert!(out.contains(&5000), "{out:?}");
+    }
+
+    #[test]
+    fn near_misses_are_not_discontinuities() {
+        let mut p = SnfourlDis::new(SnfourlDisConfig::default());
+        let mut out = Vec::new();
+        p.on_access(50, false, 0, &mut out);
+        p.on_access(52, false, 0, &mut out); // delta <= 4: SN4L's job
+        out.clear();
+        p.on_access(50, false, 0, &mut out);
+        // SN4L may prefetch 52 via the footprint, but the discontinuity
+        // table must not have recorded a near jump.
+        assert_eq!(p.dis[p.didx(50)], 0);
+    }
+
+    #[test]
+    fn cold_tables_prefetch_nothing() {
+        let mut p = SnfourlDis::new(SnfourlDisConfig::default());
+        let mut out = Vec::new();
+        p.on_access(77, true, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn storage_is_modest() {
+        let p = SnfourlDis::new(SnfourlDisConfig::default());
+        assert!(p.storage_bytes() <= 32 * 1024, "{}", p.storage_bytes());
+    }
+}

@@ -1,0 +1,273 @@
+//! EIP — the Entangling Instruction Prefetcher (Ros & Jimborean, CAL
+//! 2020 / IPC-1 winner; reduced-fidelity reimplementation).
+//!
+//! EIP *entangles* a destination cache line (one that missed) with a
+//! source line that was demand-accessed far enough **in time** to hide
+//! the miss latency. When the source line is accessed again, its
+//! entangled destinations are prefetched, giving the prefetch the same
+//! timeliness headroom. The paper evaluates the original 128KB 34-way
+//! entangled table and a realistic 27KB 8-way table (§V).
+
+use fdip_types::Cycle;
+
+/// EIP geometry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct EipConfig {
+    /// Number of source entries in the entangled table.
+    pub sources: usize,
+    /// Destination slots per source ("ways" of entangling).
+    pub dests_per_source: usize,
+    /// Cycles of lead the entangling source must have over the miss
+    /// (chosen to hide an L2/LLC round trip).
+    pub lead_cycles: u64,
+}
+
+impl EipConfig {
+    /// The original 128KB configuration (§V).
+    pub fn kb128() -> Self {
+        EipConfig {
+            sources: 4096,
+            dests_per_source: 4,
+            lead_cycles: 250,
+        }
+    }
+
+    /// The realistic 27KB configuration (§V: 8-way entangled table).
+    pub fn kb27() -> Self {
+        EipConfig {
+            sources: 1024,
+            dests_per_source: 4,
+            lead_cycles: 250,
+        }
+    }
+
+    /// Storage in bytes: per source a 40-bit tag plus 40 bits per
+    /// destination.
+    pub fn size_bytes(&self) -> usize {
+        self.sources * (5 + self.dests_per_source * 5)
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct SourceEntry {
+    src: u64,
+    dests: Vec<u64>,
+    /// Round-robin replacement cursor.
+    cursor: usize,
+}
+
+/// How many recent accesses are remembered as entangling-source
+/// candidates.
+const RECENT_WINDOW: usize = 128;
+
+/// The entangling instruction prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_prefetch::{Eip, EipConfig};
+///
+/// let mut p = Eip::new(EipConfig::kb27());
+/// let mut out = Vec::new();
+/// p.on_access(1, true, 0, &mut out);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Eip {
+    config: EipConfig,
+    table: Vec<SourceEntry>,
+    /// FIFO of recent demand accesses: (line, cycle).
+    recent: std::collections::VecDeque<(u64, Cycle)>,
+}
+
+impl Eip {
+    /// Creates the prefetcher.
+    pub fn new(config: EipConfig) -> Self {
+        Eip {
+            config,
+            table: vec![SourceEntry::default(); config.sources.next_power_of_two()],
+            recent: std::collections::VecDeque::with_capacity(RECENT_WINDOW),
+        }
+    }
+
+    fn idx(&self, line: u64) -> usize {
+        let x = line.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (x as usize >> 16) & (self.table.len() - 1)
+    }
+
+    fn entangle(&mut self, src: u64, dst: u64) {
+        if src == dst {
+            return;
+        }
+        let cap = self.config.dests_per_source;
+        let i = self.idx(src);
+        let e = &mut self.table[i];
+        if e.src != src {
+            e.src = src;
+            e.dests.clear();
+            e.cursor = 0;
+        }
+        if e.dests.contains(&dst) {
+            return;
+        }
+        if e.dests.len() < cap {
+            e.dests.push(dst);
+        } else {
+            e.dests[e.cursor] = dst;
+            e.cursor = (e.cursor + 1) % cap;
+        }
+    }
+
+    /// Picks the youngest recent access that still has `lead_cycles` of
+    /// headroom over `now`.
+    fn pick_source(&self, now: Cycle) -> Option<u64> {
+        let deadline = now.saturating_sub(self.config.lead_cycles);
+        self.recent
+            .iter()
+            .rev()
+            .find(|&&(_, t)| t <= deadline)
+            .map(|&(l, _)| l)
+            .or_else(|| self.recent.front().map(|&(l, _)| l))
+    }
+
+    /// Demand-access hook: misses are entangled with a source accessed
+    /// at least `lead_cycles` earlier; every access prefetches its
+    /// entangled destinations.
+    pub fn on_access(&mut self, line: u64, hit: bool, now: Cycle, out: &mut Vec<u64>) {
+        if !hit {
+            if let Some(src) = self.pick_source(now) {
+                self.entangle(src, line);
+            }
+        }
+        // Prefetch this line's entangled destinations, chasing one
+        // level of further entanglements for depth (successful
+        // prefetching accelerates the fetch stream, so first-level
+        // destinations alone lose their timeliness).
+        let start = out.len();
+        let i = self.idx(line);
+        let e = &self.table[i];
+        if e.src == line {
+            out.extend_from_slice(&e.dests);
+        }
+        let first = out.len();
+        for k in start..first {
+            let d = out[k];
+            let j = self.idx(d);
+            let de = &self.table[j];
+            if de.src == d {
+                out.extend_from_slice(&de.dests);
+            }
+        }
+        // Record the access as a future entangling source (dedupe
+        // back-to-back repeats).
+        if self.recent.back().map(|&(l, _)| l) != Some(line) {
+            self.recent.push_back((line, now));
+            if self.recent.len() > RECENT_WINDOW {
+                self.recent.pop_front();
+            }
+        }
+    }
+
+    /// Metadata storage in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.config.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_match_paper_classes() {
+        let b128 = EipConfig::kb128().size_bytes();
+        let b27 = EipConfig::kb27().size_bytes();
+        assert!(
+            (100 * 1024..=160 * 1024).contains(&b128),
+            "128KB class: {b128}"
+        );
+        assert!((20 * 1024..=36 * 1024).contains(&b27), "27KB class: {b27}");
+    }
+
+    #[test]
+    fn recurring_stream_prefetches_with_lead() {
+        let cfg = EipConfig::kb27();
+        let mut p = Eip::new(cfg);
+        let mut out = Vec::new();
+        // A recurring miss stream, one miss every 10 cycles.
+        let stream: Vec<u64> = (0..60).map(|i| 1000 + i * 10).collect();
+        for round in 0..2 {
+            for (i, &l) in stream.iter().enumerate() {
+                out.clear();
+                let now = (round * stream.len() + i) as u64 * 10;
+                p.on_access(l, round == 0, now, &mut out);
+            }
+        }
+        // Accessing an early line must prefetch a line at least
+        // lead_cycles/10 elements ahead.
+        out.clear();
+        p.on_access(stream[0], true, 4_000, &mut out);
+        let min_ahead = (cfg.lead_cycles / 10) as usize;
+        assert!(
+            out.iter().any(|&l| l >= stream[min_ahead.min(stream.len() - 1)]),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn dest_capacity_is_bounded() {
+        let cfg = EipConfig::kb27();
+        let mut p = Eip::new(cfg);
+        for d in 0..100u64 {
+            p.entangle(5, 1000 + d);
+        }
+        let e = &p.table[p.idx(5)];
+        assert_eq!(e.dests.len(), cfg.dests_per_source);
+    }
+
+    #[test]
+    fn self_entangling_is_ignored() {
+        let mut p = Eip::new(EipConfig::kb27());
+        p.entangle(7, 7);
+        let e = &p.table[p.idx(7)];
+        assert!(e.dests.is_empty() || e.src != 7);
+    }
+
+    #[test]
+    fn larger_budget_retains_more_sources() {
+        let mut big = Eip::new(EipConfig::kb128());
+        let mut small = Eip::new(EipConfig::kb27());
+        let srcs: Vec<u64> = (0..800u64).map(|i| 10_000 + i * 3).collect();
+        for &s in &srcs {
+            big.entangle(s, s + 1);
+            small.entangle(s, s + 1);
+        }
+        let count = |e: &Eip| {
+            srcs.iter()
+                .filter(|&&s| {
+                    let entry = &e.table[e.idx(s)];
+                    entry.src == s
+                })
+                .count()
+        };
+        assert!(
+            count(&big) > count(&small),
+            "{} vs {}",
+            count(&big),
+            count(&small)
+        );
+    }
+
+    #[test]
+    fn source_selection_respects_lead() {
+        let mut p = Eip::new(EipConfig::kb27());
+        let mut out = Vec::new();
+        p.on_access(1, true, 0, &mut out);
+        p.on_access(2, true, 50, &mut out);
+        p.on_access(3, true, 95, &mut out);
+        // At cycle 100 with 60-cycle lead, only lines accessed at t<=40
+        // qualify: line 1.
+        assert_eq!(p.pick_source(100), Some(1));
+        // With nothing old enough, the oldest is used as fallback.
+        assert_eq!(p.pick_source(10), Some(1));
+    }
+}

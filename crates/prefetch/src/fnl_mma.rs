@@ -1,0 +1,211 @@
+//! FNL+MMA — Seznec's IPC-1 prefetcher (reduced-fidelity reimplementation
+//! from the championship description).
+//!
+//! Two cooperating components:
+//!
+//! * **FNL (Footprint Next Line)**: an aggressive next-line engine gated
+//!   by a *worthiness* table — per line (hashed), 2-bit confidence that
+//!   the sequentially-following lines were actually useful in the past.
+//!   On an access to line `L`, the next `degree` lines whose worthiness
+//!   is established are prefetched.
+//! * **MMA (Multiple Miss Ahead)**: a temporal component that pairs each
+//!   miss with the miss that occurred `distance` misses later, so on a
+//!   recurring miss the stream can jump ahead of the demand front.
+
+/// FNL+MMA geometry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FnlMmaConfig {
+    /// log2 entries of the FNL worthiness table (2-bit counters).
+    pub fnl_log2: u32,
+    /// Max sequential lines prefetched per access.
+    pub fnl_degree: u64,
+    /// log2 entries of the MMA table (one 40-bit line number each).
+    pub mma_log2: u32,
+    /// How many misses ahead MMA links (the "miss ahead" distance).
+    pub mma_distance: usize,
+    /// Number of MMA targets prefetched per miss.
+    pub mma_degree: usize,
+}
+
+impl Default for FnlMmaConfig {
+    fn default() -> Self {
+        FnlMmaConfig {
+            fnl_log2: 14,
+            fnl_degree: 4,
+            mma_log2: 13,
+            mma_distance: 6,
+            mma_degree: 3,
+        }
+    }
+}
+
+/// The FNL+MMA instruction prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_prefetch::{FnlMma, FnlMmaConfig};
+///
+/// let mut p = FnlMma::new(FnlMmaConfig::default());
+/// let mut out = Vec::new();
+/// // Teach the sequential footprint: lines 100,101,102 miss in order.
+/// for round in 0..4 {
+///     for l in 100..103 {
+///         out.clear();
+///         p.on_access(l, round > 2, 0, &mut out);
+///     }
+/// }
+/// out.clear();
+/// p.on_access(100, true, 0, &mut out);
+/// assert!(out.contains(&101));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FnlMma {
+    config: FnlMmaConfig,
+    /// 2-bit worthiness per (hashed) line: is `line + 1` useful?
+    worthiness: Vec<u8>,
+    /// MMA table: hashed miss line -> a later miss line.
+    mma: Vec<u64>,
+    /// Recent miss FIFO for MMA training.
+    recent_misses: Vec<u64>,
+    last_line: u64,
+}
+
+impl FnlMma {
+    /// Creates the prefetcher.
+    pub fn new(config: FnlMmaConfig) -> Self {
+        FnlMma {
+            config,
+            worthiness: vec![0; 1 << config.fnl_log2],
+            mma: vec![0; 1 << config.mma_log2],
+            recent_misses: Vec::with_capacity(config.mma_distance + 1),
+            last_line: u64::MAX,
+        }
+    }
+
+    fn widx(&self, line: u64) -> usize {
+        let x = line ^ (line >> self.config.fnl_log2 as u64);
+        (x as usize) & ((1 << self.config.fnl_log2) - 1)
+    }
+
+    fn midx(&self, line: u64) -> usize {
+        let x = line ^ (line >> 9).wrapping_mul(0x9e37_79b9);
+        (x as usize) & ((1 << self.config.mma_log2) - 1)
+    }
+
+    /// Demand-access hook.
+    pub fn on_access(&mut self, line: u64, hit: bool, _now: fdip_types::Cycle, out: &mut Vec<u64>) {
+        // --- FNL training: a sequential step from L to L+1 marks L worthy.
+        if self.last_line != u64::MAX && line == self.last_line + 1 {
+            let i = self.widx(self.last_line);
+            self.worthiness[i] = (self.worthiness[i] + 1).min(3);
+        } else if self.last_line != u64::MAX && line != self.last_line {
+            // A non-sequential departure decays worthiness slowly.
+            let i = self.widx(self.last_line);
+            if self.worthiness[i] > 0 && line % 7 == 0 {
+                self.worthiness[i] -= 1;
+            }
+        }
+        self.last_line = line;
+
+        // --- FNL prefetch: walk forward while worthiness holds.
+        let mut l = line;
+        for _ in 0..self.config.fnl_degree {
+            if self.worthiness[self.widx(l)] >= 2 {
+                out.push(l + 1);
+                l += 1;
+            } else {
+                break;
+            }
+        }
+
+        if !hit {
+            // --- MMA training: link the miss from `distance` misses ago
+            // to this miss.
+            if self.recent_misses.len() >= self.config.mma_distance {
+                let src = self.recent_misses[self.recent_misses.len() - self.config.mma_distance];
+                let i = self.midx(src);
+                self.mma[i] = line;
+            }
+            self.recent_misses.push(line);
+            if self.recent_misses.len() > self.config.mma_distance + 1 {
+                self.recent_misses.remove(0);
+            }
+        }
+
+        // --- MMA prefetch: chase the ahead-links on every access (a
+        // successfully prefetched line hits, and must still extend the
+        // stream or the chain collapses after one round).
+        let mut cur = line;
+        for _ in 0..self.config.mma_degree {
+            let t = self.mma[self.midx(cur)];
+            if t == 0 || t == cur {
+                break;
+            }
+            out.push(t);
+            cur = t;
+        }
+    }
+
+    /// Metadata storage in bytes (2-bit worthiness + 40-bit MMA lines).
+    pub fn storage_bytes(&self) -> usize {
+        self.worthiness.len() / 4 + self.mma.len() * 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnl_learns_sequential_footprints() {
+        let mut p = FnlMma::new(FnlMmaConfig::default());
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            for l in 200..208 {
+                p.on_access(l, false, 0, &mut out);
+            }
+        }
+        out.clear();
+        p.on_access(200, true, 0, &mut out);
+        assert!(out.contains(&201), "{out:?}");
+        assert!(out.contains(&202), "{out:?}");
+    }
+
+    #[test]
+    fn fnl_does_not_prefetch_unworthy_lines() {
+        let mut p = FnlMma::new(FnlMmaConfig::default());
+        let mut out = Vec::new();
+        // Random non-sequential accesses build no worthiness.
+        for l in [10u64, 500, 90, 7000, 33] {
+            p.on_access(l, false, 0, &mut out);
+        }
+        out.clear();
+        p.on_access(10, true, 0, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn mma_links_recurring_miss_streams() {
+        let cfg = FnlMmaConfig::default();
+        let mut p = FnlMma::new(cfg);
+        let mut out = Vec::new();
+        // A recurring discontiguous miss stream.
+        let stream = [1000u64, 2000, 3000, 4000, 5000, 6000, 7000];
+        for _ in 0..3 {
+            for &l in &stream {
+                p.on_access(l, false, 0, &mut out);
+            }
+        }
+        out.clear();
+        p.on_access(1000, false, 0, &mut out);
+        // 1000 links `mma_distance` misses ahead -> 7000.
+        assert!(out.contains(&7000), "{out:?}");
+    }
+
+    #[test]
+    fn storage_is_within_ipc1_class_budget() {
+        let p = FnlMma::new(FnlMmaConfig::default());
+        assert!(p.storage_bytes() <= 64 * 1024, "{}", p.storage_bytes());
+    }
+}

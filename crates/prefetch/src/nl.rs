@@ -1,0 +1,46 @@
+//! NL1: next-line prefetching on a miss (§V "Next line").
+
+/// The simplest instruction prefetcher: on every I-cache miss to line
+/// `L`, prefetch `L + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_prefetch::NextLine;
+///
+/// let mut nl = NextLine::new();
+/// let mut out = Vec::new();
+/// nl.on_access(100, false, 0, &mut out);
+/// assert_eq!(out, vec![101]);
+/// ```
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NextLine;
+
+impl NextLine {
+    /// Creates the prefetcher (stateless).
+    pub fn new() -> Self {
+        NextLine
+    }
+
+    /// Demand-access hook: emits `line + 1` on misses.
+    pub fn on_access(&mut self, line: u64, hit: bool, _now: fdip_types::Cycle, out: &mut Vec<u64>) {
+        if !hit {
+            out.push(line + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetches_only_on_miss() {
+        let mut nl = NextLine::new();
+        let mut out = Vec::new();
+        nl.on_access(10, true, 0, &mut out);
+        assert!(out.is_empty());
+        nl.on_access(10, false, 0, &mut out);
+        assert_eq!(out, vec![11]);
+    }
+}

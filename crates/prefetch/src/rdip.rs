@@ -1,0 +1,219 @@
+//! RDIP — Return-address-stack Directed Instruction Prefetching
+//! (Kolli, Saidi, Wenisch, MICRO 2013; reduced-fidelity
+//! reimplementation).
+//!
+//! The paper's related work (§VII-A): RDIP correlates I-cache misses
+//! with the *program context* captured from the return address stack;
+//! when the same RAS context recurs, the recorded miss lines are
+//! prefetched. D-JOLT (also implemented here) replaces the stack
+//! signature with a FIFO of return addresses — having both allows the
+//! comparison the D-JOLT authors motivate.
+
+use fdip_types::{Addr, BranchKind, Cycle};
+
+/// RDIP geometry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RdipConfig {
+    /// log2 entries of the signature table.
+    pub table_log2: u32,
+    /// Miss lines recorded per signature.
+    pub lines_per_entry: usize,
+    /// RAS entries hashed into the signature.
+    pub sig_depth: usize,
+}
+
+impl Default for RdipConfig {
+    fn default() -> Self {
+        RdipConfig {
+            table_log2: 11,
+            lines_per_entry: 8,
+            sig_depth: 4,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    sig: u64,
+    lines: Vec<u64>,
+}
+
+/// The RDIP instruction prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_prefetch::{Rdip, RdipConfig};
+/// use fdip_types::{Addr, BranchKind};
+///
+/// let mut p = Rdip::new(RdipConfig::default());
+/// let mut out = Vec::new();
+/// p.on_branch_prefetch(Addr::new(0x100), BranchKind::DirectCall, Addr::new(0x900), &mut out);
+/// p.on_access(700, false, 0, &mut out); // recorded under the context
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rdip {
+    config: RdipConfig,
+    table: Vec<Entry>,
+    /// Mirror of the committed-path call stack (return addresses).
+    stack: Vec<u64>,
+}
+
+impl Rdip {
+    /// Creates the prefetcher.
+    pub fn new(config: RdipConfig) -> Self {
+        Rdip {
+            config,
+            table: vec![Entry::default(); 1 << config.table_log2],
+            stack: Vec::with_capacity(64),
+        }
+    }
+
+    fn signature(&self) -> u64 {
+        let mut sig = 0x9e37_79b9_7f4a_7c15u64;
+        for &ra in self.stack.iter().rev().take(self.config.sig_depth) {
+            sig = sig.rotate_left(11) ^ ra;
+        }
+        sig
+    }
+
+    fn idx(&self, sig: u64) -> usize {
+        ((sig ^ (sig >> 23)) as usize) & ((1 << self.config.table_log2) - 1)
+    }
+
+    /// Branch hook: calls push / returns pop the mirrored stack; every
+    /// context change replays the footprint recorded under the new
+    /// signature.
+    pub fn on_branch_prefetch(
+        &mut self,
+        pc: Addr,
+        kind: BranchKind,
+        _target: Addr,
+        out: &mut Vec<u64>,
+    ) {
+        if kind.is_call() {
+            if self.stack.len() >= 64 {
+                self.stack.remove(0);
+            }
+            self.stack.push(pc.next_instr().raw());
+        } else if kind.is_return() {
+            self.stack.pop();
+        } else {
+            return;
+        }
+        let sig = self.signature();
+        let e = &self.table[self.idx(sig)];
+        if e.sig == sig {
+            out.extend_from_slice(&e.lines);
+        }
+    }
+
+    /// Demand-access hook: misses are recorded under the current RAS
+    /// context.
+    pub fn on_access(&mut self, line: u64, hit: bool, _now: Cycle, _out: &mut Vec<u64>) {
+        if hit {
+            return;
+        }
+        let sig = self.signature();
+        let i = self.idx(sig);
+        let e = &mut self.table[i];
+        if e.sig != sig {
+            e.sig = sig;
+            e.lines.clear();
+        }
+        if !e.lines.contains(&line) {
+            if e.lines.len() >= self.config.lines_per_entry {
+                e.lines.remove(0);
+            }
+            e.lines.push(line);
+        }
+    }
+
+    /// Metadata storage in bytes (16-bit partial sig + 40-bit lines per
+    /// entry).
+    pub fn storage_bytes(&self) -> usize {
+        (1usize << self.config.table_log2) * (2 + self.config.lines_per_entry * 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(p: &mut Rdip, site: u64, out: &mut Vec<u64>) {
+        p.on_branch_prefetch(
+            Addr::new(site),
+            BranchKind::DirectCall,
+            Addr::new(site + 0x1000),
+            out,
+        );
+    }
+
+    fn ret(p: &mut Rdip, out: &mut Vec<u64>) {
+        p.on_branch_prefetch(Addr::new(0), BranchKind::Return, Addr::NULL, out);
+    }
+
+    #[test]
+    fn recurring_ras_context_replays_footprint() {
+        let mut p = Rdip::new(RdipConfig::default());
+        let mut out = Vec::new();
+        call(&mut p, 0x100, &mut out);
+        call(&mut p, 0x200, &mut out);
+        for l in [40u64, 41, 99] {
+            p.on_access(l, false, 0, &mut out);
+        }
+        // Leave and re-enter the same context.
+        ret(&mut p, &mut out);
+        out.clear();
+        call(&mut p, 0x200, &mut out);
+        assert!(out.contains(&40), "{out:?}");
+        assert!(out.contains(&41), "{out:?}");
+        assert!(out.contains(&99), "{out:?}");
+    }
+
+    #[test]
+    fn different_context_replays_nothing() {
+        let mut p = Rdip::new(RdipConfig::default());
+        let mut out = Vec::new();
+        call(&mut p, 0x100, &mut out);
+        p.on_access(40, false, 0, &mut out);
+        out.clear();
+        call(&mut p, 0x300, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn conditional_branches_do_not_change_context() {
+        let mut p = Rdip::new(RdipConfig::default());
+        let mut out = Vec::new();
+        call(&mut p, 0x100, &mut out);
+        let depth = p.stack.len();
+        p.on_branch_prefetch(
+            Addr::new(0x104),
+            BranchKind::CondDirect,
+            Addr::new(0x200),
+            &mut out,
+        );
+        assert_eq!(p.stack.len(), depth);
+    }
+
+    #[test]
+    fn footprint_capacity_is_bounded() {
+        let cfg = RdipConfig::default();
+        let mut p = Rdip::new(cfg);
+        let mut out = Vec::new();
+        call(&mut p, 0x100, &mut out);
+        for l in 0..50u64 {
+            p.on_access(l, false, 0, &mut out);
+        }
+        let sig = p.signature();
+        let i = p.idx(sig);
+        assert_eq!(p.table[i].lines.len(), cfg.lines_per_entry);
+    }
+
+    #[test]
+    fn storage_is_modest() {
+        let p = Rdip::new(RdipConfig::default());
+        assert!(p.storage_bytes() <= 128 * 1024, "{}", p.storage_bytes());
+    }
+}

@@ -1,0 +1,225 @@
+//! Instruction addresses and block-geometry helpers.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Size of one instruction in bytes. The paper assumes fixed-length 32-bit
+/// instructions (§IV), as in the Arm ISA the authors work on.
+pub const INSTR_BYTES: u64 = 4;
+
+/// Size of one I-cache line in bytes (ChampSim / IPC-1 default).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Size of the instruction block covered by one FTQ entry (§IV-A): each
+/// entry covers a 32-byte aligned block so all of its instructions fall in
+/// the same I-cache line.
+pub const FTQ_BLOCK_BYTES: u64 = 32;
+
+/// BTB set-index granularity (§IV-B): all branches in the same 16-byte
+/// block map to the same BTB set.
+pub const BTB_SET_BYTES: u64 = 16;
+
+/// A virtual instruction address.
+///
+/// Addresses are plain 64-bit values; the paper's FTQ stores 48 bits of
+/// virtual address, which this type comfortably covers. All helpers assume
+/// the 4-byte fixed instruction length.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_types::Addr;
+///
+/// let pc = Addr::new(0x1000);
+/// assert_eq!(pc.next_instr().raw(), 0x1004);
+/// assert_eq!(Addr::new(0x103c).ftq_block(), Addr::new(0x1020));
+/// assert_eq!(Addr::new(0x103c).ftq_offset(), 7);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The zero address; used as a sentinel for "no target yet".
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null sentinel.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Address of the next sequential instruction.
+    pub const fn next_instr(self) -> Addr {
+        Addr(self.0 + INSTR_BYTES)
+    }
+
+    /// Aligns down to an arbitrary power-of-two block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `block` is not a power of two.
+    pub const fn align_down(self, block: u64) -> Addr {
+        debug_assert!(block.is_power_of_two());
+        Addr(self.0 & !(block - 1))
+    }
+
+    /// Start address of the cache line containing this address.
+    pub const fn cache_line(self) -> Addr {
+        self.align_down(CACHE_LINE_BYTES)
+    }
+
+    /// Cache-line number (address divided by the line size).
+    pub const fn line_number(self) -> u64 {
+        self.0 / CACHE_LINE_BYTES
+    }
+
+    /// Start address of the 32-byte FTQ block containing this address.
+    pub const fn ftq_block(self) -> Addr {
+        self.align_down(FTQ_BLOCK_BYTES)
+    }
+
+    /// Instruction slot (0..8) of this address within its FTQ block.
+    pub const fn ftq_offset(self) -> usize {
+        ((self.0 % FTQ_BLOCK_BYTES) / INSTR_BYTES) as usize
+    }
+
+    /// Start address of the 16-byte BTB indexing block.
+    pub const fn btb_block(self) -> Addr {
+        self.align_down(BTB_SET_BYTES)
+    }
+
+    /// Byte distance from `other` to `self` (may be negative).
+    pub const fn byte_offset_from(self, other: Addr) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+
+    fn sub(self, bytes: u64) -> Addr {
+        Addr(self.0 - bytes)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_instr_advances_by_four() {
+        assert_eq!(Addr::new(0x100).next_instr(), Addr::new(0x104));
+    }
+
+    #[test]
+    fn ftq_block_alignment() {
+        assert_eq!(Addr::new(0x0).ftq_block(), Addr::new(0x0));
+        assert_eq!(Addr::new(0x1f).ftq_block(), Addr::new(0x0));
+        assert_eq!(Addr::new(0x20).ftq_block(), Addr::new(0x20));
+        assert_eq!(Addr::new(0x3c).ftq_block(), Addr::new(0x20));
+    }
+
+    #[test]
+    fn ftq_offset_covers_eight_slots() {
+        for slot in 0..8u64 {
+            let a = Addr::new(0x40 + slot * INSTR_BYTES);
+            assert_eq!(a.ftq_offset(), slot as usize);
+        }
+    }
+
+    #[test]
+    fn cache_line_and_line_number_agree() {
+        let a = Addr::new(0x1_0044);
+        assert_eq!(a.cache_line().raw(), a.line_number() * CACHE_LINE_BYTES);
+    }
+
+    #[test]
+    fn btb_block_uses_16_bytes() {
+        assert_eq!(Addr::new(0x1c).btb_block(), Addr::new(0x10));
+        assert_eq!(Addr::new(0x20).btb_block(), Addr::new(0x20));
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Addr::new(0x1000);
+        assert_eq!((a + 16) - 16, a);
+        assert_eq!((a + 16).byte_offset_from(a), 16);
+        assert_eq!(a.byte_offset_from(a + 16), -16);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Addr = 0x42u64.into();
+        let r: u64 = a.into();
+        assert_eq!(r, 0x42);
+    }
+
+    #[test]
+    fn null_sentinel() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr::new(4).is_null());
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+
+    #[test]
+    fn debug_and_display_are_hex() {
+        let a = Addr::new(0xbeef);
+        assert_eq!(format!("{a}"), "0xbeef");
+        assert_eq!(format!("{a:?}"), "Addr(0xbeef)");
+        assert_eq!(format!("{a:x}"), "beef");
+        assert_eq!(format!("{a:X}"), "BEEF");
+    }
+}

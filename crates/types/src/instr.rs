@@ -1,0 +1,303 @@
+//! The fixed-length instruction model shared by the program generator,
+//! the branch-prediction substrate, and the simulator.
+
+use crate::addr::Addr;
+use std::fmt;
+
+/// Class of a non-branch instruction, used by the backend timing model.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum OpClass {
+    /// Simple integer ALU operation (1-cycle execute).
+    #[default]
+    Alu,
+    /// Integer multiply / long-latency ALU operation.
+    Mul,
+    /// Floating-point operation.
+    Fp,
+    /// Memory load; execute latency comes from the data-side hierarchy.
+    Load,
+    /// Memory store.
+    Store,
+}
+
+impl OpClass {
+    /// Returns `true` for loads and stores.
+    pub const fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+/// Kind of a branch instruction.
+///
+/// The distinction that matters to the paper:
+///
+/// * **PC-relative** branches ([`CondDirect`](BranchKind::CondDirect),
+///   [`DirectJump`](BranchKind::DirectJump),
+///   [`DirectCall`](BranchKind::DirectCall)) embed their target in the
+///   instruction word, so post-fetch correction (PFC) can recover the
+///   target at pre-decode time.
+/// * [`Return`](BranchKind::Return) targets come from the RAS, also
+///   available at pre-decode.
+/// * Register-indirect branches ([`IndirectJump`](BranchKind::IndirectJump),
+///   [`IndirectCall`](BranchKind::IndirectCall)) have no target until
+///   execute, so neither PFC nor BTB prefetching can fix them (§VI-E).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BranchKind {
+    /// Conditional PC-relative branch.
+    CondDirect,
+    /// Unconditional PC-relative jump.
+    DirectJump,
+    /// Unconditional register-indirect jump.
+    IndirectJump,
+    /// PC-relative function call (pushes the return address on the RAS).
+    DirectCall,
+    /// Register-indirect function call.
+    IndirectCall,
+    /// Function return (target popped from the RAS).
+    Return,
+}
+
+impl BranchKind {
+    /// Is the branch conditional (may be not-taken)?
+    pub const fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::CondDirect)
+    }
+
+    /// Is the branch always taken when executed?
+    pub const fn is_unconditional(self) -> bool {
+        !self.is_conditional()
+    }
+
+    /// Does the branch push a return address onto the RAS?
+    pub const fn is_call(self) -> bool {
+        matches!(self, BranchKind::DirectCall | BranchKind::IndirectCall)
+    }
+
+    /// Does the branch pop the RAS?
+    pub const fn is_return(self) -> bool {
+        matches!(self, BranchKind::Return)
+    }
+
+    /// Is the target embedded in the instruction word (PC-relative)?
+    pub const fn is_direct(self) -> bool {
+        matches!(
+            self,
+            BranchKind::CondDirect | BranchKind::DirectJump | BranchKind::DirectCall
+        )
+    }
+
+    /// Is the target produced by a register (unknown until execute)?
+    pub const fn is_indirect(self) -> bool {
+        matches!(self, BranchKind::IndirectJump | BranchKind::IndirectCall)
+    }
+
+    /// Can pre-decode recover this branch's target for PFC (§III-B)?
+    ///
+    /// True for PC-relative branches (offset embedded in the instruction)
+    /// and returns (target from the RAS); false for register-indirect
+    /// branches.
+    pub const fn pfc_target_available(self) -> bool {
+        self.is_direct() || self.is_return()
+    }
+}
+
+/// Decoded kind of one static instruction.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum InstrKind {
+    /// A non-branch operation.
+    Op(OpClass),
+    /// A branch. `target` is the statically-embedded target for direct
+    /// branches and [`Addr::NULL`] for indirect branches and returns.
+    Branch {
+        /// The branch kind.
+        kind: BranchKind,
+        /// Statically-known target (direct branches only).
+        target: Addr,
+    },
+}
+
+impl Default for InstrKind {
+    fn default() -> Self {
+        InstrKind::Op(OpClass::Alu)
+    }
+}
+
+impl InstrKind {
+    /// Returns the branch kind, if this is a branch.
+    pub const fn branch_kind(self) -> Option<BranchKind> {
+        match self {
+            InstrKind::Branch { kind, .. } => Some(kind),
+            InstrKind::Op(_) => None,
+        }
+    }
+
+    /// Returns `true` if this instruction is any kind of branch.
+    pub const fn is_branch(self) -> bool {
+        matches!(self, InstrKind::Branch { .. })
+    }
+
+    /// Statically-embedded target (direct branches only).
+    pub const fn static_target(self) -> Option<Addr> {
+        match self {
+            InstrKind::Branch { kind, target } if kind.is_direct() => Some(target),
+            _ => None,
+        }
+    }
+}
+
+/// A static instruction: what the binary at an address *is*.
+///
+/// This is what pre-decode sees; the program model's code image maps each
+/// address to one of these.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct StaticInstr {
+    /// Decoded kind.
+    pub kind: InstrKind,
+}
+
+impl StaticInstr {
+    /// A plain ALU instruction (also used as unmapped-memory filler).
+    pub const NOP: StaticInstr = StaticInstr {
+        kind: InstrKind::Op(OpClass::Alu),
+    };
+
+    /// Creates a non-branch instruction of the given class.
+    pub const fn op(class: OpClass) -> Self {
+        StaticInstr {
+            kind: InstrKind::Op(class),
+        }
+    }
+
+    /// Creates a branch instruction.
+    pub const fn branch(kind: BranchKind, target: Addr) -> Self {
+        StaticInstr {
+            kind: InstrKind::Branch { kind, target },
+        }
+    }
+}
+
+/// One committed-path dynamic instruction, as produced by the execution
+/// engine: the static instruction plus its actual outcome.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DynInstr {
+    /// Program counter.
+    pub pc: Addr,
+    /// Decoded kind (copied from the static image).
+    pub kind: InstrKind,
+    /// Actual direction for branches (`true` for all taken branches;
+    /// always `false` for non-branches).
+    pub taken: bool,
+    /// Address of the next committed instruction.
+    pub next_pc: Addr,
+}
+
+impl DynInstr {
+    /// Returns `true` if this instruction is any kind of branch.
+    pub const fn is_branch(&self) -> bool {
+        self.kind.is_branch()
+    }
+
+    /// The actual taken-target of this branch (only meaningful when
+    /// `taken` is set).
+    pub const fn taken_target(&self) -> Addr {
+        self.next_pc
+    }
+}
+
+impl fmt::Display for DynInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            InstrKind::Op(c) => write!(f, "{} {:?}", self.pc, c),
+            InstrKind::Branch { kind, .. } => write!(
+                f,
+                "{} {:?} {} -> {}",
+                self.pc,
+                kind,
+                if self.taken { "T" } else { "NT" },
+                self.next_pc
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_kind_taxonomy() {
+        use BranchKind::*;
+        assert!(CondDirect.is_conditional());
+        for k in [DirectJump, IndirectJump, DirectCall, IndirectCall, Return] {
+            assert!(k.is_unconditional(), "{k:?}");
+        }
+        assert!(DirectCall.is_call());
+        assert!(IndirectCall.is_call());
+        assert!(Return.is_return());
+        assert!(!Return.is_call());
+    }
+
+    #[test]
+    fn directness_partition() {
+        use BranchKind::*;
+        for k in [CondDirect, DirectJump, IndirectJump, DirectCall, IndirectCall, Return] {
+            // Every branch is exactly one of direct / indirect / return.
+            let n = k.is_direct() as u8 + k.is_indirect() as u8 + k.is_return() as u8;
+            assert_eq!(n, 1, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn pfc_target_availability_matches_paper() {
+        use BranchKind::*;
+        assert!(CondDirect.pfc_target_available());
+        assert!(DirectJump.pfc_target_available());
+        assert!(DirectCall.pfc_target_available());
+        assert!(Return.pfc_target_available());
+        assert!(!IndirectJump.pfc_target_available());
+        assert!(!IndirectCall.pfc_target_available());
+    }
+
+    #[test]
+    fn static_target_only_for_direct() {
+        let t = Addr::new(0x2000);
+        let direct = StaticInstr::branch(BranchKind::DirectJump, t);
+        let indirect = StaticInstr::branch(BranchKind::IndirectJump, Addr::NULL);
+        assert_eq!(direct.kind.static_target(), Some(t));
+        assert_eq!(indirect.kind.static_target(), None);
+        assert_eq!(StaticInstr::NOP.kind.static_target(), None);
+    }
+
+    #[test]
+    fn op_class_memory() {
+        assert!(OpClass::Load.is_memory());
+        assert!(OpClass::Store.is_memory());
+        assert!(!OpClass::Alu.is_memory());
+        assert!(!OpClass::Mul.is_memory());
+        assert!(!OpClass::Fp.is_memory());
+    }
+
+    #[test]
+    fn dyn_instr_display_and_target() {
+        let d = DynInstr {
+            pc: Addr::new(0x100),
+            kind: InstrKind::Branch {
+                kind: BranchKind::CondDirect,
+                target: Addr::new(0x200),
+            },
+            taken: true,
+            next_pc: Addr::new(0x200),
+        };
+        assert!(d.is_branch());
+        assert_eq!(d.taken_target(), Addr::new(0x200));
+        let s = format!("{d}");
+        assert!(s.contains("0x100"), "{s}");
+        assert!(s.contains('T'), "{s}");
+    }
+
+    #[test]
+    fn nop_is_default() {
+        assert_eq!(StaticInstr::default(), StaticInstr::NOP);
+        assert!(!StaticInstr::NOP.kind.is_branch());
+    }
+}

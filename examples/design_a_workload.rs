@@ -1,0 +1,69 @@
+//! Designing a custom synthetic workload with the program-model API.
+//!
+//! Shows how to go below the stock suite: tune `ProgramParams` to shape
+//! instruction footprint, branch mix, and call-graph structure, then
+//! verify the resulting frontend behaviour. Useful for generating
+//! targeted stress tests (e.g. "what does a 100%-indirect dispatch loop
+//! do to the FTQ?").
+//!
+//! ```text
+//! cargo run --release --example design_a_workload
+//! ```
+
+use fdip_repro::program::{ProgramBuilder, ProgramParams};
+use fdip_repro::sim::{run_workload, CoreConfig};
+
+fn main() {
+    // A pathological "virtual-machine dispatch" workload: a huge flat
+    // function pool driven almost entirely by indirect calls, with
+    // unpredictable targets.
+    let vm_dispatch = ProgramParams {
+        seed: 7,
+        num_funcs: 1500,
+        blocks_per_func: (2, 5),
+        instrs_per_block: (3, 7),
+        call_levels: 2,
+        cond_fraction: 0.25,
+        call_fraction: 0.45,
+        jump_fraction: 0.05,
+        indirect_jump_fraction: 0.05,
+        indirect_call_fraction: 0.8,
+        strongly_biased_fraction: 0.6,
+        loop_fraction: 0.05,
+        pattern_fraction: 0.1,
+        loop_trip: (2, 8),
+        mem_fraction: 0.3,
+        dispatcher_fanout: 256,
+    };
+    // A loop-nest workload: deep trip-count loops, tiny footprint.
+    let loop_nest = ProgramParams {
+        seed: 7,
+        num_funcs: 40,
+        loop_fraction: 0.5,
+        loop_trip: (16, 120),
+        cond_fraction: 0.6,
+        call_fraction: 0.08,
+        dispatcher_fanout: 8,
+        ..ProgramParams::default()
+    };
+
+    for (name, params) in [("vm_dispatch", vm_dispatch), ("loop_nest", loop_nest)] {
+        let program = ProgramBuilder::new(params).build(name);
+        let base = run_workload(&CoreConfig::no_fdp(), &program, 30_000, 150_000);
+        let fdp = run_workload(&CoreConfig::fdp(), &program, 30_000, 150_000);
+        println!(
+            "{name:12} footprint {:5} KB, {:5} branches | base IPC {:.3} -> FDP IPC {:.3} ({:+.1}%), \
+             MPKI {:.1}, indirect misp. {}",
+            program.image().footprint_bytes() / 1024,
+            program.static_branch_count(),
+            base.ipc(),
+            fdp.ipc(),
+            100.0 * (fdp.ipc() / base.ipc() - 1.0),
+            fdp.branch_mpki(),
+            fdp.misp_indirect,
+        );
+    }
+    println!("\nIndirect-heavy dispatch stresses ITTAGE and caps FDP's benefit;");
+    println!("loop nests barely touch the I-cache and gain almost nothing — the");
+    println!("paper's motivation workloads live between these extremes.");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: build a synthetic workload, run the FDP frontend against
+//! the no-FDP baseline, and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fdip_repro::program::workload::{Workload, WorkloadFamily};
+use fdip_repro::sim::{run_workload, CoreConfig};
+
+fn main() {
+    // 1. Pick a workload. `server_a` is a data-center-style program with
+    //    a ~1MB instruction footprint — the kind of frontend-bound code
+    //    the paper targets.
+    let workload = Workload::family_default("server_a", WorkloadFamily::Server, 101);
+    let program = workload.build();
+    println!(
+        "workload {}: {} KB code, {} static branches",
+        program.name(),
+        program.image().footprint_bytes() / 1024,
+        program.static_branch_count()
+    );
+
+    // 2. Run the paper's baseline (no prefetching, no FDP: a 2-entry FTQ
+    //    kills the run-ahead) and the improved FDP frontend (24-entry
+    //    FTQ, taken-only target history, post-fetch correction).
+    let (warmup, measure) = (50_000, 200_000);
+    let base = run_workload(&CoreConfig::no_fdp(), &program, warmup, measure);
+    let fdp = run_workload(&CoreConfig::fdp(), &program, warmup, measure);
+
+    // 3. Report.
+    println!("baseline : IPC {:.3}  branch MPKI {:5.1}  L1I MPKI {:5.1}",
+        base.ipc(), base.branch_mpki(), base.l1i_mpki());
+    println!("FDP      : IPC {:.3}  branch MPKI {:5.1}  L1I MPKI {:5.1}",
+        fdp.ipc(), fdp.branch_mpki(), fdp.l1i_mpki());
+    println!(
+        "FDP speedup: {:+.1}%  (PFC restreams: {}, of which harmful: {})",
+        100.0 * (fdp.ipc() / base.ipc() - 1.0),
+        fdp.pfc_restreams,
+        fdp.pfc_harmful
+    );
+}

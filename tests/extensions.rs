@@ -1,0 +1,145 @@
+//! Integration tests for the extension features beyond the paper's
+//! baseline design: the loop predictor (§II-A), the two-level BTB
+//! (§II-A), and the RDIP prefetcher (§VII-A).
+
+use fdip_bpred::{BtbLevel, TwoLevelBtb, TwoLevelBtbConfig};
+use fdip_prefetch::PrefetcherKind;
+use fdip_program::{ProgramBuilder, ProgramParams};
+use fdip_sim::{run_workload, CoreConfig};
+use fdip_types::{Addr, BranchKind};
+
+fn loopy_program() -> fdip_program::Program {
+    ProgramBuilder::new(ProgramParams {
+        seed: 77,
+        num_funcs: 64,
+        loop_fraction: 0.45,
+        // Trip counts beyond TAGE's 260-bit history window: global
+        // history cannot time these exits, a loop predictor can.
+        loop_trip: (300, 900),
+        cond_fraction: 0.55,
+        strongly_biased_fraction: 0.3,
+        ..ProgramParams::default()
+    })
+    .build("loopy")
+}
+
+#[test]
+fn loop_predictor_reduces_mispredictions_on_loop_heavy_code() {
+    // Long fixed-trip loops exceed what a 260-bit history can separate;
+    // the loop predictor catches their exits exactly.
+    let p = loopy_program();
+    let base = run_workload(&CoreConfig::fdp(), &p, 20_000, 150_000);
+    let with_lp = run_workload(
+        &CoreConfig {
+            loop_predictor: true,
+            ..CoreConfig::fdp()
+        },
+        &p,
+        20_000,
+        150_000,
+    );
+    assert!(
+        with_lp.mispredicts < base.mispredicts,
+        "loop predictor must reduce mispredictions: {} vs {}",
+        with_lp.mispredicts,
+        base.mispredicts
+    );
+    assert!(
+        with_lp.ipc() >= base.ipc() * 0.99,
+        "loop predictor should not cost IPC: {:.3} vs {:.3}",
+        with_lp.ipc(),
+        base.ipc()
+    );
+}
+
+#[test]
+fn loop_predictor_is_neutral_on_loop_poor_code() {
+    let p = ProgramBuilder::new(ProgramParams {
+        seed: 78,
+        num_funcs: 64,
+        loop_fraction: 0.0,
+        ..ProgramParams::default()
+    })
+    .build("no-loops");
+    let base = run_workload(&CoreConfig::fdp(), &p, 10_000, 80_000);
+    let with_lp = run_workload(
+        &CoreConfig {
+            loop_predictor: true,
+            ..CoreConfig::fdp()
+        },
+        &p,
+        10_000,
+        80_000,
+    );
+    let delta = (with_lp.ipc() / base.ipc() - 1.0).abs();
+    assert!(delta < 0.02, "loop predictor should be near-neutral: {delta:.4}");
+}
+
+#[test]
+fn two_level_btb_serves_hot_branches_fast_and_cold_from_l2() {
+    let mut btb = TwoLevelBtb::new(TwoLevelBtbConfig::default());
+    // Install a working set larger than the L1 level.
+    for i in 0..3000u64 {
+        btb.insert(
+            Addr::new(0x10_0000 + i * 12),
+            BranchKind::CondDirect,
+            Addr::new(0x20_0000),
+        );
+    }
+    // Touch a hot subset repeatedly: after promotion every hit is L1.
+    let hot: Vec<Addr> = (0..64).map(|i| Addr::new(0x10_0000 + i * 12)).collect();
+    for _ in 0..3 {
+        for &pc in &hot {
+            btb.lookup(pc);
+        }
+    }
+    let (_, level, lat) = btb.lookup(hot[0]).expect("hot hit");
+    assert_eq!(level, BtbLevel::L1);
+    assert_eq!(lat, 1);
+    let s = btb.stats();
+    assert!(s.l1_hits > s.l2_hits, "{s:?}");
+    assert!(s.l2_hits > 0, "cold entries must have been promoted: {s:?}");
+}
+
+#[test]
+fn rdip_runs_end_to_end_and_does_no_harm() {
+    let p = ProgramBuilder::new(ProgramParams {
+        seed: 79,
+        num_funcs: 400,
+        call_fraction: 0.3,
+        ..ProgramParams::default()
+    })
+    .build("cally");
+    let base = run_workload(&CoreConfig::no_fdp(), &p, 20_000, 120_000);
+    let rdip = run_workload(
+        &CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Rdip),
+        &p,
+        20_000,
+        120_000,
+    );
+    assert!(
+        rdip.ipc() >= base.ipc() * 0.98,
+        "RDIP should not regress IPC: {:.3} vs {:.3}",
+        rdip.ipc(),
+        base.ipc()
+    );
+    assert!(rdip.prefetch_candidates > 0, "RDIP must emit prefetches");
+}
+
+#[test]
+fn extension_features_compose() {
+    // Loop predictor + prefetcher + small BTB all together: still
+    // deterministic and still beats the no-FDP baseline.
+    let p = loopy_program();
+    let cfg = CoreConfig {
+        loop_predictor: true,
+        ..CoreConfig::fdp()
+            .with_btb_entries(2048)
+            .with_prefetcher(PrefetcherKind::NextLine)
+    };
+    let a = run_workload(&cfg, &p, 10_000, 80_000);
+    let b = run_workload(&cfg, &p, 10_000, 80_000);
+    assert_eq!(a, b, "composition must stay deterministic");
+    let base = run_workload(&CoreConfig::no_fdp(), &p, 10_000, 80_000);
+    assert!(a.ipc() > base.ipc());
+}

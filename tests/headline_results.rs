@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: the paper's qualitative claims must
+//! hold on a reduced-scale run of the workload suite.
+//!
+//! These are directional ("who wins"), not absolute-number tests, per
+//! the reproduction contract in DESIGN.md.
+
+use fdip_harness::Runner;
+use fdip_prefetch::PrefetcherKind;
+use fdip_sim::{CoreConfig, SimStats};
+
+fn runner() -> Runner {
+    Runner::quick(20_000, 100_000)
+}
+
+fn speedup(base: &[SimStats], other: &[SimStats]) -> f64 {
+    Runner::speedup_pct(base, other)
+}
+
+#[test]
+fn fdp_gives_a_large_speedup_over_baseline() {
+    let r = runner();
+    let base = r.run_config(&CoreConfig::no_fdp());
+    let fdp = r.run_config(&CoreConfig::fdp());
+    let s = speedup(&base, &fdp);
+    // Paper: 41.0%. Shape: a large double-digit win.
+    assert!(s > 15.0, "FDP speedup only {s:.1}%");
+}
+
+#[test]
+fn fdp_beats_next_line_prefetching() {
+    let r = runner();
+    let base = r.run_config(&CoreConfig::no_fdp());
+    let nl = r.run_config(&CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::NextLine));
+    let fdp = r.run_config(&CoreConfig::fdp());
+    assert!(
+        speedup(&base, &fdp) > speedup(&base, &nl),
+        "FDP must beat NL1"
+    );
+}
+
+#[test]
+fn dedicated_prefetcher_on_top_of_fdp_is_marginal() {
+    // Paper Fig. 6a: prefetchers add a lot without FDP but only a few
+    // percent on top of FDP (tested with NL1, our strongest prefetcher).
+    let r = runner();
+    let fdp = r.run_config(&CoreConfig::fdp());
+    let fdp_nl = r.run_config(&CoreConfig::fdp().with_prefetcher(PrefetcherKind::NextLine));
+    let gain_on_fdp = speedup(&fdp, &fdp_nl);
+    let no_fdp = r.run_config(&CoreConfig::no_fdp());
+    let nl = r.run_config(&CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::NextLine));
+    let gain_no_fdp = speedup(&no_fdp, &nl);
+    assert!(
+        gain_no_fdp > 2.0 * gain_on_fdp.max(0.5),
+        "NL1 gain without FDP ({gain_no_fdp:.1}%) should dwarf gain on FDP ({gain_on_fdp:.1}%)"
+    );
+}
+
+#[test]
+fn pfc_recovers_performance_on_small_btbs() {
+    // Paper Fig. 7: PFC is worth ~9% at a 1K-entry BTB.
+    let r = runner();
+    let off = r.run_config(&CoreConfig::fdp().with_btb_entries(1024).with_pfc(false));
+    let on = r.run_config(&CoreConfig::fdp().with_btb_entries(1024).with_pfc(true));
+    let gain = speedup(&off, &on);
+    assert!(gain > 2.0, "PFC gain at 1K BTB only {gain:.1}%");
+    // ... by reducing mispredictions (paper: -75% at 1K).
+    assert!(
+        Runner::mean_mpki(&on) < Runner::mean_mpki(&off),
+        "PFC must reduce MPKI on small BTBs"
+    );
+}
+
+#[test]
+fn pfc_is_neutral_on_huge_btbs() {
+    // Paper Fig. 7: +0.1% at 32K entries.
+    let r = runner();
+    let off = r.run_config(&CoreConfig::fdp().with_btb_entries(32 * 1024).with_pfc(false));
+    let on = r.run_config(&CoreConfig::fdp().with_btb_entries(32 * 1024).with_pfc(true));
+    let gain = speedup(&off, &on);
+    assert!(gain.abs() < 4.0, "PFC at 32K BTB should be near-neutral, got {gain:.1}%");
+}
+
+#[test]
+fn taken_only_target_history_beats_the_academic_default() {
+    // Paper Fig. 8: THR outperforms GHR3 (direction history with fixup
+    // and all-branch allocation).
+    use fdip_bpred::HistoryPolicy;
+    let r = runner();
+    let thr = r.run_config(&CoreConfig::fdp().with_policy(HistoryPolicy::Thr));
+    let ghr3 = r.run_config(&CoreConfig::fdp().with_policy(HistoryPolicy::Ghr3));
+    let edge = speedup(&ghr3, &thr);
+    assert!(edge > 0.0, "THR must beat GHR3, got {edge:.1}%");
+    // GHR3 pays in history-repair frontend flushes; THR never repairs.
+    assert_eq!(thr.iter().map(|s| s.fixup_flushes).sum::<u64>(), 0);
+    assert!(ghr3.iter().map(|s| s.fixup_flushes).sum::<u64>() > 0);
+}
+
+#[test]
+fn perfect_btb_improves_fdp() {
+    // Paper §VI-A: a perfect BTB adds ~3.4% on FDP.
+    let r = runner();
+    let fdp = r.run_config(&CoreConfig::fdp());
+    let perfect = r.run_config(&CoreConfig {
+        perfect_btb: true,
+        ..CoreConfig::fdp()
+    });
+    let gain = speedup(&fdp, &perfect);
+    assert!(gain > 0.0, "perfect BTB should help, got {gain:.1}%");
+    assert!(gain < 40.0, "perfect BTB gain implausibly large: {gain:.1}%");
+}
+
+#[test]
+fn deeper_ftq_monotonically_helps_until_saturation() {
+    // Paper Fig. 14 shape: big jump from 2->12 entries, marginal after.
+    let r = runner();
+    let f2 = r.run_config(&CoreConfig::fdp().with_ftq(2));
+    let f12 = r.run_config(&CoreConfig::fdp().with_ftq(12));
+    let f24 = r.run_config(&CoreConfig::fdp().with_ftq(24));
+    let s12 = speedup(&f2, &f12);
+    let s24 = speedup(&f2, &f24);
+    assert!(s12 > 8.0, "12-entry FTQ gain {s12:.1}%");
+    assert!(s24 >= s12 - 1.0, "24-entry should not regress: {s24:.1} vs {s12:.1}");
+    let tail = s24 - s12;
+    assert!(tail < s12 / 2.0, "gains beyond 12 entries should be marginal");
+}
+
+#[test]
+fn iso_budget_tag_traffic_blows_up_with_dedicated_prefetcher() {
+    // Paper Fig. 9: EIP-27KB multiplies I-cache tag accesses (3.5x).
+    let r = runner();
+    let btb8k = r.run_config(&CoreConfig::fdp().with_btb_entries(8192));
+    let eip = r.run_config(
+        &CoreConfig::fdp()
+            .with_btb_entries(4096)
+            .with_prefetcher(PrefetcherKind::Eip27),
+    );
+    let tags_btb = Runner::mean_of(&btb8k, SimStats::icache_tag_pki);
+    let tags_eip = Runner::mean_of(&eip, SimStats::icache_tag_pki);
+    assert!(
+        tags_eip > 1.1 * tags_btb,
+        "EIP should multiply tag traffic: {tags_eip:.0} vs {tags_btb:.0} per KI"
+    );
+}
+
+#[test]
+fn perfect_prefetching_is_an_upper_bound_for_prefetchers() {
+    let r = runner();
+    let base = r.run_config(&CoreConfig::no_fdp());
+    let perfect = r.run_config(&CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Perfect));
+    for pk in [
+        PrefetcherKind::NextLine,
+        PrefetcherKind::FnlMma,
+        PrefetcherKind::Djolt,
+        PrefetcherKind::Eip128,
+    ] {
+        let s = r.run_config(&CoreConfig::no_fdp().with_prefetcher(pk));
+        assert!(
+            speedup(&base, &perfect) >= speedup(&base, &s) - 2.0,
+            "{} beat perfect prefetching",
+            pk.label()
+        );
+    }
+}
+
+#[test]
+fn real_prefetchers_beat_doing_nothing_without_fdp() {
+    let r = runner();
+    let base = r.run_config(&CoreConfig::no_fdp());
+    for pk in [
+        PrefetcherKind::NextLine,
+        PrefetcherKind::FnlMma,
+        PrefetcherKind::Djolt,
+        PrefetcherKind::Eip27,
+        PrefetcherKind::Eip128,
+        PrefetcherKind::SnfourlDis,
+    ] {
+        let s = r.run_config(&CoreConfig::no_fdp().with_prefetcher(pk));
+        let gain = speedup(&base, &s);
+        assert!(gain > 0.0, "{} gained {gain:.1}%", pk.label());
+    }
+}
+
+#[test]
+fn btb_prefetching_helps_small_btbs_under_ghr() {
+    // Paper Fig. 10: BTB prefetching helps 2K BTBs under GHR (+8.8%).
+    use fdip_bpred::HistoryPolicy;
+    let r = runner();
+    let mk = |pf| {
+        CoreConfig::fdp()
+            .with_btb_entries(2048)
+            .with_policy(HistoryPolicy::Ghr3)
+            .with_pfc(false)
+            .with_prefetcher(pf)
+    };
+    let without = r.run_config(&mk(PrefetcherKind::SnfourlDis));
+    let with = r.run_config(&mk(PrefetcherKind::SnfourlDisBtb));
+    let gain = speedup(&without, &with);
+    assert!(gain > -1.0, "BTB prefetching at 2K/GHR3 should not hurt: {gain:.1}%");
+}
