@@ -78,8 +78,14 @@ fn fig7(c: &mut Criterion) {
         c,
         "fig7_pfc_btb",
         &[
-            ("btb1k_pfc_off", CoreConfig::fdp().with_btb_entries(1024).with_pfc(false)),
-            ("btb1k_pfc_on", CoreConfig::fdp().with_btb_entries(1024).with_pfc(true)),
+            (
+                "btb1k_pfc_off",
+                CoreConfig::fdp().with_btb_entries(1024).with_pfc(false),
+            ),
+            (
+                "btb1k_pfc_on",
+                CoreConfig::fdp().with_btb_entries(1024).with_pfc(true),
+            ),
         ],
     );
 }
@@ -201,7 +207,5 @@ fn fig14(c: &mut Criterion) {
     );
 }
 
-criterion_group!(
-    figures, fig1, tab3, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14
-);
+criterion_group!(figures, fig1, tab3, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14);
 criterion_main!(figures);

@@ -24,7 +24,10 @@ fn ablation(c: &mut Criterion) {
     let cases: Vec<(&str, CoreConfig)> = vec![
         ("full_design", small_btb.clone()),
         ("no_pfc", small_btb.clone().with_pfc(false)),
-        ("ghr_history", small_btb.clone().with_policy(HistoryPolicy::Ghr3)),
+        (
+            "ghr_history",
+            small_btb.clone().with_policy(HistoryPolicy::Ghr3),
+        ),
         ("cold_btb", {
             let mut c = small_btb.clone();
             c.func_warmup = 0;

@@ -271,7 +271,11 @@ mod tests {
     fn capacity_is_respected() {
         let mut b = btb(256);
         for i in 0..10_000u64 {
-            b.insert(Addr::new(0x1_0000 + i * 4), BranchKind::CondDirect, Addr::new(0x2000));
+            b.insert(
+                Addr::new(0x1_0000 + i * 4),
+                BranchKind::CondDirect,
+                Addr::new(0x2000),
+            );
         }
         assert!(b.occupancy() <= 256);
     }
@@ -285,8 +289,14 @@ mod tests {
             small.insert(pc, BranchKind::CondDirect, Addr::new(0x2000));
             large.insert(pc, BranchKind::CondDirect, Addr::new(0x2000));
         }
-        let small_hits = branches.iter().filter(|&&pc| small.peek(pc).is_some()).count();
-        let large_hits = branches.iter().filter(|&&pc| large.peek(pc).is_some()).count();
+        let small_hits = branches
+            .iter()
+            .filter(|&&pc| small.peek(pc).is_some())
+            .count();
+        let large_hits = branches
+            .iter()
+            .filter(|&&pc| large.peek(pc).is_some())
+            .count();
         assert!(large_hits > small_hits * 4, "{large_hits} vs {small_hits}");
     }
 

@@ -159,7 +159,11 @@ mod tests {
         // Fill far more branches than the 1K-entry L1 holds, so early
         // ones fall out of L1 but stay in the 8K-entry L2.
         for i in 0..4096u64 {
-            b.insert(Addr::new(0x1_0000 + i * 8), BranchKind::CondDirect, Addr::new(0x2000));
+            b.insert(
+                Addr::new(0x1_0000 + i * 8),
+                BranchKind::CondDirect,
+                Addr::new(0x2000),
+            );
         }
         let victim = Addr::new(0x1_0000);
         let (_, level, lat) = b.lookup(victim).expect("still in L2");
@@ -187,7 +191,11 @@ mod tests {
     fn capacity_exceeds_single_level() {
         let mut b = btb();
         for i in 0..8192u64 {
-            b.insert(Addr::new(0x1_0000 + i * 8), BranchKind::CondDirect, Addr::new(0x2000));
+            b.insert(
+                Addr::new(0x1_0000 + i * 8),
+                BranchKind::CondDirect,
+                Addr::new(0x2000),
+            );
         }
         // The union holds (at least close to) the L2 capacity.
         assert!(b.occupancy() > 8000, "{}", b.occupancy());

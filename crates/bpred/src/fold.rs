@@ -111,13 +111,7 @@ impl FoldPlan {
     /// Semantics of a push (matching `GlobalHistory::push_bits`): the
     /// history shifts left by `k` bits and `inject` is XOR-ed into the low
     /// bits (inject may be wider than `k`).
-    pub fn push(
-        &self,
-        folds: &mut FoldedHistories,
-        before: &GlobalHistory,
-        inject: u64,
-        k: u32,
-    ) {
+    pub fn push(&self, folds: &mut FoldedHistories, before: &GlobalHistory, inject: u64, k: u32) {
         debug_assert_eq!(folds.n, self.specs.len());
         for (slot, spec) in self.specs.iter().enumerate() {
             let out = spec.out;
@@ -169,7 +163,15 @@ mod tests {
 
     fn plan() -> FoldPlan {
         let mut p = FoldPlan::new();
-        for (len, out) in [(4, 9), (10, 9), (37, 11), (64, 11), (130, 12), (260, 10), (9, 9)] {
+        for (len, out) in [
+            (4, 9),
+            (10, 9),
+            (37, 11),
+            (64, 11),
+            (130, 12),
+            (260, 10),
+            (9, 9),
+        ] {
             p.register(len, out);
         }
         p
@@ -232,7 +234,11 @@ mod tests {
         let mut h = GlobalHistory::new();
         let mut f = p.initial();
         for i in 0u64..400 {
-            let (inject, k) = if i % 3 == 0 { (1u64, 1) } else { (0xbeef ^ i, 2) };
+            let (inject, k) = if i % 3 == 0 {
+                (1u64, 1)
+            } else {
+                (0xbeef ^ i, 2)
+            };
             p.push(&mut f, &h, inject, k);
             h.push_bits(inject, k);
         }

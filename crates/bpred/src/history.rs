@@ -115,7 +115,11 @@ impl GlobalHistory {
         let mut chunk_fill = 0u32;
         'outer: for (wi, &w) in self.words.iter().enumerate() {
             let mut avail = (len - taken).min(64);
-            let mut word = if avail == 64 { w } else { w & ((1u64 << avail) - 1) };
+            let mut word = if avail == 64 {
+                w
+            } else {
+                w & ((1u64 << avail) - 1)
+            };
             let _ = wi;
             while avail > 0 {
                 let take = (out_bits - chunk_fill).min(avail);
@@ -243,7 +247,7 @@ mod tests {
         // 4 bits folded into 2-bit chunks: 0b11 ^ 0b11 = 0.
         assert_eq!(h.fold(4, 2), 0);
         h.push_direction(false); // history 01111
-        // 5 bits = chunks [11, 11, 0] -> 0 ^ 0b0 = 0... then one leftover bit 0.
+                                 // 5 bits = chunks [11, 11, 0] -> 0 ^ 0b0 = 0... then one leftover bit 0.
         assert_eq!(h.fold(5, 2), 0b11 ^ 0b11 ^ 0b0);
     }
 

@@ -37,8 +37,7 @@ impl IttageConfig {
     /// Storage in bytes: tagged entries hold a 48-bit target + tag +
     /// 2-bit confidence + 2-bit usefulness; base entries a 48-bit target.
     pub fn size_bytes(&self) -> usize {
-        let tagged_bits =
-            4 * (1usize << self.entries_log2) * (48 + self.tag_bits as usize + 2 + 2);
+        let tagged_bits = 4 * (1usize << self.entries_log2) * (48 + self.tag_bits as usize + 2 + 2);
         let base_bits = (1usize << self.base_log2) * 48;
         (tagged_bits + base_bits) / 8
     }
@@ -115,8 +114,7 @@ impl Ittage {
     fn index(&self, pc: Addr, folds: &FoldedHistories, i: usize) -> usize {
         let h = pc.raw() >> 2;
         let f = folds.get(self.fold_base + 2 * i) as u64;
-        ((h ^ (h >> 7) ^ f ^ ((i as u64) << 2)) as usize)
-            & ((1 << self.config.entries_log2) - 1)
+        ((h ^ (h >> 7) ^ f ^ ((i as u64) << 2)) as usize) & ((1 << self.config.entries_log2) - 1)
     }
 
     fn tag(&self, pc: Addr, folds: &FoldedHistories, i: usize) -> u16 {
@@ -254,7 +252,10 @@ mod tests {
     #[test]
     fn cold_lookup_returns_null() {
         let (itt, plan) = setup();
-        assert!(itt.predict(Addr::new(0x1234), &plan.initial()).target.is_null());
+        assert!(itt
+            .predict(Addr::new(0x1234), &plan.initial())
+            .target
+            .is_null());
     }
 
     #[test]

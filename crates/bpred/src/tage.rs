@@ -267,13 +267,7 @@ impl Tage {
     /// `folds` must be the folded histories the branch was *predicted*
     /// with (the simulator checkpoints them), and `pred` the value
     /// returned by [`Tage::predict`] at prediction time.
-    pub fn update(
-        &mut self,
-        pc: Addr,
-        folds: &FoldedHistories,
-        taken: bool,
-        pred: TagePrediction,
-    ) {
+    pub fn update(&mut self, pc: Addr, folds: &FoldedHistories, taken: bool, pred: TagePrediction) {
         let mispredicted = pred.taken != taken;
         let (provider, _alt) = self.matches(pc, folds);
 
@@ -324,7 +318,11 @@ impl Tage {
                     // Prefer shorter histories with geometric bias, as in
                     // Seznec's reference code.
                     let r = self.next_rand();
-                    let pick = if candidates.len() > 1 && r & 1 == 0 { 1 } else { 0 };
+                    let pick = if candidates.len() > 1 && r & 1 == 0 {
+                        1
+                    } else {
+                        0
+                    };
                     let j = candidates[pick.min(candidates.len() - 1)];
                     let idx = self.index(pc, folds, j);
                     let tag = self.tag(pc, folds, j);
@@ -492,9 +490,7 @@ mod tests {
                 let pc = Addr::new(0x1000 + (i % 37) * 4);
                 let taken = (i * 2654435761) % 5 < 2;
                 let pred = tage.predict(pc, &folds);
-                outcome_bits = outcome_bits
-                    .wrapping_mul(3)
-                    .wrapping_add(pred.taken as u64);
+                outcome_bits = outcome_bits.wrapping_mul(3).wrapping_add(pred.taken as u64);
                 tage.update(pc, &folds, taken, pred);
                 plan.push(&mut folds, &hist, taken as u64, 1);
                 hist.push_bits(taken as u64, 1);

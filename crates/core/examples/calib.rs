@@ -1,6 +1,6 @@
+use fdip_prefetch::PrefetcherKind;
 use fdip_program::workload;
 use fdip_sim::{run_workload, CoreConfig};
-use fdip_prefetch::PrefetcherKind;
 
 fn main() {
     let (w, m) = (50_000u64, 200_000u64);
@@ -8,7 +8,12 @@ fn main() {
         let p = wl.build();
         let base = run_workload(&CoreConfig::no_fdp(), &p, w, m);
         let fdp = run_workload(&CoreConfig::fdp(), &p, w, m);
-        let perf = run_workload(&CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Perfect), &p, w, m);
+        let perf = run_workload(
+            &CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Perfect),
+            &p,
+            w,
+            m,
+        );
         println!(
             "{:10} base_ipc {:.3} fdp_ipc {:.3} (+{:5.1}%) perfI_noFDP +{:5.1}% | base L1I mpki {:5.1} mpki_br {:4.1} fdp_br {:4.1}",
             wl.name, base.ipc(), fdp.ipc(),

@@ -1,0 +1,142 @@
+//! Distribution telemetry collected alongside [`SimStats`](crate::stats::SimStats).
+//!
+//! The scalar counters answer "how much"; these histograms answer "how it
+//! was shaped" — whether the FTQ actually ran deep enough to hide fill
+//! latency (§IV-A sizing), how much lead time the fetch-directed fill
+//! probes bought (§VI-G timeliness), and whether the decode queue stayed
+//! fed (§VI-D starvation). They are recorded every cycle, so the types
+//! come from `fdip-telemetry` where recording is O(1) and allocation-free
+//! once warm.
+
+use fdip_telemetry::{Histogram, Json, ToJson};
+
+/// How often a per-interval IPC sample is taken, in cycles.
+///
+/// 4096 cycles is short enough to expose phase behaviour within the
+/// 200K-instruction measured regions and long enough that a sample is not
+/// dominated by a single miss burst.
+pub const IPC_SAMPLE_INTERVAL: u64 = 4096;
+
+/// Per-interval distributions for one simulation run.
+///
+/// Unlike [`SimStats`](crate::stats::SimStats) this is not `Copy` (the
+/// histograms own their bucket vectors), and warm-up is excluded by
+/// [`clearing`](SimDists::clear) at the measurement boundary rather than
+/// by snapshot subtraction.
+#[derive(Clone, Debug, Default)]
+pub struct SimDists {
+    /// FTQ occupancy in entries, sampled once per cycle.
+    pub ftq_occupancy: Histogram,
+    /// Prefetch lead time in cycles: for every FTQ entry that initiated
+    /// an I-cache fill probe, the distance between the probe and the
+    /// entry first being demanded at the FTQ head. This is the prefetch
+    /// distance the decoupled frontend achieved — entries whose lead
+    /// exceeds the miss latency are the "covered" misses of §VI-G.
+    pub prefetch_lead_time: Histogram,
+    /// Decode-queue fill in instructions, sampled once per cycle.
+    /// Mass below `decode_width` is time the backend could starve.
+    pub decode_queue_fill: Histogram,
+    /// IPC of each completed [`IPC_SAMPLE_INTERVAL`]-cycle window, in
+    /// chronological order.
+    pub sampled_ipc: Vec<f64>,
+    /// Instructions retired when the current sample window opened.
+    pub(crate) sample_anchor_retired: u64,
+    /// Cycle at which the current sample window opened.
+    pub(crate) sample_anchor_cycle: u64,
+}
+
+impl SimDists {
+    /// Creates empty distributions.
+    pub fn new() -> SimDists {
+        SimDists::default()
+    }
+
+    /// Discards everything recorded so far (the warm-up boundary).
+    pub fn clear(&mut self, now_cycle: u64, now_retired: u64) {
+        self.ftq_occupancy.clear();
+        self.prefetch_lead_time.clear();
+        self.decode_queue_fill.clear();
+        self.sampled_ipc.clear();
+        self.sample_anchor_cycle = now_cycle;
+        self.sample_anchor_retired = now_retired;
+    }
+
+    /// Closes the current IPC sample window if it is due.
+    pub(crate) fn maybe_sample_ipc(&mut self, now_cycle: u64, now_retired: u64) {
+        let elapsed = now_cycle - self.sample_anchor_cycle;
+        if elapsed >= IPC_SAMPLE_INTERVAL {
+            let retired = now_retired - self.sample_anchor_retired;
+            self.sampled_ipc.push(retired as f64 / elapsed as f64);
+            self.sample_anchor_cycle = now_cycle;
+            self.sample_anchor_retired = now_retired;
+        }
+    }
+}
+
+impl ToJson for SimDists {
+    /// Serializes as `{ftq_occupancy, prefetch_lead_time,
+    /// decode_queue_fill, sampled_ipc}` with each histogram in the
+    /// standard `fdip-telemetry` histogram form.
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("ftq_occupancy", self.ftq_occupancy.to_json())
+            .with("prefetch_lead_time", self.prefetch_lead_time.to_json())
+            .with("decode_queue_fill", self.decode_queue_fill.to_json())
+            .with("sampled_ipc", self.sampled_ipc.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_sampling_closes_windows_on_the_interval() {
+        let mut d = SimDists::new();
+        // Not yet due.
+        d.maybe_sample_ipc(IPC_SAMPLE_INTERVAL - 1, 1000);
+        assert!(d.sampled_ipc.is_empty());
+        // Due exactly at the boundary: 2 IPC over the window.
+        d.maybe_sample_ipc(IPC_SAMPLE_INTERVAL, 2 * IPC_SAMPLE_INTERVAL);
+        assert_eq!(d.sampled_ipc.len(), 1);
+        assert!((d.sampled_ipc[0] - 2.0).abs() < 1e-12);
+        // Anchors moved: the next window starts fresh.
+        assert_eq!(d.sample_anchor_cycle, IPC_SAMPLE_INTERVAL);
+    }
+
+    #[test]
+    fn clear_resets_data_and_anchors() {
+        let mut d = SimDists::new();
+        d.ftq_occupancy.record(5);
+        d.maybe_sample_ipc(IPC_SAMPLE_INTERVAL, 100);
+        d.clear(10_000, 7_000);
+        assert_eq!(d.ftq_occupancy.count(), 0);
+        assert!(d.sampled_ipc.is_empty());
+        assert_eq!(d.sample_anchor_cycle, 10_000);
+        assert_eq!(d.sample_anchor_retired, 7_000);
+    }
+
+    #[test]
+    fn json_has_all_four_sections() {
+        let mut d = SimDists::new();
+        d.ftq_occupancy.record(3);
+        d.prefetch_lead_time.record(40);
+        d.decode_queue_fill.record(0);
+        d.sampled_ipc.push(1.5);
+        let j = d.to_json();
+        for key in [
+            "ftq_occupancy",
+            "prefetch_lead_time",
+            "decode_queue_fill",
+            "sampled_ipc",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(
+            j.get("sampled_ipc")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+}

@@ -67,6 +67,9 @@ pub enum FillState {
         /// The entry was already the FTQ head when the request was
         /// initiated (=> a miss is *fully exposed*, §VI-G).
         was_head: bool,
+        /// Cycle at which the fill probe was initiated (for the
+        /// prefetch lead-time distribution).
+        requested_at: Cycle,
     },
 }
 

@@ -100,7 +100,13 @@ mod tests {
         let plan = plan();
         let mut h = HistState::new(&plan);
         let before = h;
-        h.record_branch(&plan, HistoryPolicy::Thr, Addr::new(0x100), false, Addr::NULL);
+        h.record_branch(
+            &plan,
+            HistoryPolicy::Thr,
+            Addr::new(0x100),
+            false,
+            Addr::NULL,
+        );
         assert_eq!(h.ghr, before.ghr);
         assert_eq!(h.folds, before.folds);
         h.record_branch(
@@ -151,7 +157,13 @@ mod tests {
                     Addr::new(0x9000 + i * 32),
                 );
             } else {
-                h.record_branch(&plan, HistoryPolicy::Ghr0, Addr::new(0x200), i % 2 == 0, Addr::NULL);
+                h.record_branch(
+                    &plan,
+                    HistoryPolicy::Ghr0,
+                    Addr::new(0x200),
+                    i % 2 == 0,
+                    Addr::NULL,
+                );
             }
         }
         assert_eq!(h.folds, plan.recompute(&h.ghr));

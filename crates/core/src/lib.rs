@@ -30,6 +30,7 @@
 
 pub mod backend;
 pub mod config;
+pub mod dists;
 pub mod ftq;
 pub mod hist;
 pub mod oracle;
@@ -38,7 +39,8 @@ pub mod sim;
 pub mod stats;
 
 pub use config::{BackendConfig, CoreConfig, DirectionConfig};
+pub use dists::SimDists;
 pub use ftq::{ftq_overhead_bytes, FillState, Ftq, FtqEntry, SlotBranch};
 pub use hist::HistState;
-pub use sim::{run_workload, Simulator};
+pub use sim::{run_workload, run_workload_detailed, Simulator};
 pub use stats::SimStats;

@@ -13,6 +13,7 @@
 
 use crate::backend::{DataAddressGen, FetchedInstr, RobEntry, UnresolvedBranch};
 use crate::config::CoreConfig;
+use crate::dists::SimDists;
 use crate::ftq::{FillState, Ftq, FtqEntry, SlotBranch};
 use crate::hist::HistState;
 use crate::oracle::Oracle;
@@ -57,6 +58,7 @@ pub struct Simulator<'p> {
     /// Recently-issued prefetch lines -> issue cycle (churn filter).
     pf_recent: std::collections::HashMap<u64, Cycle>,
     stats: SimStats,
+    dists: SimDists,
 }
 
 impl<'p> Simulator<'p> {
@@ -136,6 +138,7 @@ impl<'p> Simulator<'p> {
             pf_scratch: Vec::new(),
             pf_recent: std::collections::HashMap::new(),
             stats: SimStats::default(),
+            dists: SimDists::new(),
             perfect_btb_has,
             preds,
             program,
@@ -161,10 +164,24 @@ impl<'p> Simulator<'p> {
     /// Panics if the core deadlocks (a liveness bug) — no forward
     /// progress over a very large cycle budget.
     pub fn run(&mut self, warmup: u64, measure: u64) -> SimStats {
+        self.run_detailed(warmup, measure).0
+    }
+
+    /// Like [`Simulator::run`], but also returns the distribution
+    /// telemetry (histograms and sampled IPC) of the measurement
+    /// interval. Warm-up is excluded by clearing the distributions at
+    /// the measurement boundary.
+    pub fn run_detailed(&mut self, warmup: u64, measure: u64) -> (SimStats, SimDists) {
         self.run_until_retired(warmup);
         let snap = self.collect();
+        self.dists.clear(self.now, self.stats.retired);
         self.run_until_retired(warmup + measure);
-        self.collect().delta(&snap)
+        (self.collect().delta(&snap), self.dists.clone())
+    }
+
+    /// The distribution telemetry recorded so far.
+    pub fn dists(&self) -> &SimDists {
+        &self.dists
     }
 
     fn run_until_retired(&mut self, target: u64) {
@@ -212,8 +229,11 @@ impl<'p> Simulator<'p> {
             self.stats.starvation_cycles += 1;
         }
         self.stats.ftq_occupancy_sum += self.ftq.len() as u64;
+        self.dists.ftq_occupancy.record(self.ftq.len() as u64);
+        self.dists.decode_queue_fill.record(self.dq.len() as u64);
         self.stats.cycles += 1;
         self.now += 1;
+        self.dists.maybe_sample_ipc(self.now, self.stats.retired);
     }
 
     // ----------------------------------------------------------------
@@ -295,7 +315,13 @@ impl<'p> Simulator<'p> {
         self.ftq.flush_all();
 
         let mut h = *u.rec.ckpt;
-        h.record_branch(&self.preds.plan, self.cfg.policy, u.pc, actual_taken, actual_next);
+        h.record_branch(
+            &self.preds.plan,
+            self.cfg.policy,
+            u.pc,
+            actual_taken,
+            actual_next,
+        );
         h.push_ideal_dir(actual_taken);
         if actual_taken && u.kind.is_call() {
             h.ras.push(u.pc.next_instr());
@@ -420,7 +446,8 @@ impl<'p> Simulator<'p> {
             let present = self.mem.instr_line_present(line);
             let ready_at = self.mem.fetch_instr_line(line, self.now);
             let missed = !present;
-            self.prefetcher.on_access(line, present, self.now, &mut self.pf_scratch);
+            self.prefetcher
+                .on_access(line, present, self.now, &mut self.pf_scratch);
             self.stats.prefetch_candidates += self.pf_scratch.len() as u64;
             for l in self.pf_scratch.drain(..) {
                 self.pf_queue.push_back(l);
@@ -433,6 +460,7 @@ impl<'p> Simulator<'p> {
                 ready_at,
                 missed,
                 was_head,
+                requested_at: self.now,
             };
         }
     }
@@ -456,8 +484,16 @@ impl<'p> Simulator<'p> {
             ready_at,
             missed,
             was_head,
+            requested_at,
         } = e.fill
         {
+            // Lead time the decoupled frontend achieved for this entry:
+            // fill probe → first demand at the FTQ head. Entries probed
+            // only once they were already head get a lead of zero.
+            let demanded_at = e.head_since.unwrap_or(requested_at);
+            self.dists
+                .prefetch_lead_time
+                .record(demanded_at.saturating_sub(requested_at));
             if !missed {
                 return;
             }
@@ -477,11 +513,15 @@ impl<'p> Simulator<'p> {
         let mut fetched = 0;
         while fetched < self.cfg.fetch_width && self.dq.len() < self.cfg.backend.decode_queue {
             let now = self.now;
-            let Some(head) = self.ftq.head_mut() else { break };
+            let Some(head) = self.ftq.head_mut() else {
+                break;
+            };
             if head.head_since.is_none() {
                 head.head_since = Some(now);
             }
-            let FillState::Requested { ready_at, .. } = head.fill else { break };
+            let FillState::Requested { ready_at, .. } = head.fill else {
+                break;
+            };
             if ready_at > now {
                 break;
             }
@@ -751,10 +791,12 @@ impl<'p> Simulator<'p> {
             if let Some(k) = actual_branch {
                 if k.is_conditional() {
                     let oracle_dir = slot_seq.map(|s| self.oracle.get(s).taken);
-                    tage_pred =
-                        self.preds
-                            .dir
-                            .predict(pc, &self.hist.folds, &self.hist.ideal_dir, oracle_dir);
+                    tage_pred = self.preds.dir.predict(
+                        pc,
+                        &self.hist.folds,
+                        &self.hist.ideal_dir,
+                        oracle_dir,
+                    );
                     hint = tage_pred.taken;
                     // A confident loop-predictor entry overrides the
                     // direction predictor (§II-A).
@@ -780,7 +822,11 @@ impl<'p> Simulator<'p> {
 
             if detected {
                 let k = btb_kind.expect("detected implies kind");
-                let mut taken = if k.is_conditional() { tage_pred.taken } else { true };
+                let mut taken = if k.is_conditional() {
+                    tage_pred.taken
+                } else {
+                    true
+                };
                 let mut target = btb_target;
                 if taken && k.is_indirect() {
                     itt_pred = self.preds.ittage.predict(pc, &self.hist.folds);
@@ -899,7 +945,9 @@ impl<'p> Simulator<'p> {
         let filtered = self.prefetcher.has_reissue_filter();
         let mut issued = 0;
         while issued < self.cfg.prefetch_issue_bw {
-            let Some(line) = self.pf_queue.pop_front() else { break };
+            let Some(line) = self.pf_queue.pop_front() else {
+                break;
+            };
             let now = self.now;
             if filtered {
                 match self.pf_recent.get(&line) {
@@ -937,14 +985,25 @@ impl<'p> Simulator<'p> {
 /// println!("IPC {:.2}", stats.ipc());
 /// ```
 pub fn run_workload(cfg: &CoreConfig, program: &Program, warmup: u64, measure: u64) -> SimStats {
+    run_workload_detailed(cfg, program, warmup, measure).0
+}
+
+/// Like [`run_workload`], but also returns the distribution telemetry
+/// (histograms and sampled IPC) of the measurement interval.
+pub fn run_workload_detailed(
+    cfg: &CoreConfig,
+    program: &Program,
+    warmup: u64,
+    measure: u64,
+) -> (SimStats, SimDists) {
     let mut sim = Simulator::new(cfg.clone(), program, 0xf0cc_ed);
-    sim.run(warmup, measure)
+    sim.run_detailed(warmup, measure)
 }
 
 #[cfg(test)]
 mod tests {
-    use fdip_prefetch::PrefetcherKind;
     use super::*;
+    use fdip_prefetch::PrefetcherKind;
     use fdip_program::{ProgramBuilder, ProgramParams};
 
     fn small_program(seed: u64) -> Program {
@@ -1067,10 +1126,39 @@ mod tests {
     }
 
     #[test]
+    fn detailed_run_populates_distributions() {
+        let p = small_program(10);
+        let mut sim = Simulator::new(CoreConfig::fdp(), &p, 1);
+        let (s, d) = sim.run_detailed(3_000, 15_000);
+        // Per-cycle distributions cover exactly the measured interval.
+        assert_eq!(d.ftq_occupancy.count(), s.cycles);
+        assert_eq!(d.decode_queue_fill.count(), s.cycles);
+        // Every consumed FTQ entry contributes a lead-time sample, and a
+        // decoupled frontend achieves nonzero lead on at least some.
+        assert!(d.prefetch_lead_time.count() > 0);
+        assert!(d.prefetch_lead_time.max().unwrap_or(0) > 0);
+        // 15K instructions at IPC ~1-3 spans multiple 4096-cycle windows.
+        assert!(!d.sampled_ipc.is_empty());
+        let overall = s.ipc();
+        for ipc in &d.sampled_ipc {
+            assert!(*ipc >= 0.0 && *ipc <= 8.0, "implausible sample {ipc}");
+        }
+        let mean: f64 = d.sampled_ipc.iter().sum::<f64>() / d.sampled_ipc.len() as f64;
+        assert!(
+            (mean - overall).abs() < overall * 0.5,
+            "sample mean {mean} far from overall IPC {overall}"
+        );
+    }
+
+    #[test]
     fn warmup_is_excluded_from_stats() {
         let p = small_program(9);
         let mut sim = Simulator::new(CoreConfig::fdp(), &p, 1);
         let s = sim.run(5_000, 10_000);
-        assert!(s.retired >= 10_000 - 8 && s.retired < 12_000, "{}", s.retired);
+        assert!(
+            s.retired >= 10_000 - 8 && s.retired < 12_000,
+            "{}",
+            s.retired
+        );
     }
 }

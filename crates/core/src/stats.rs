@@ -4,6 +4,7 @@
 
 use fdip_bpred::BtbStats;
 use fdip_mem::{CacheStats, TrafficStats};
+use fdip_telemetry::{Json, ToJson};
 
 /// Raw counters collected over a simulation interval.
 ///
@@ -181,6 +182,90 @@ impl SimStats {
         }
         self.btb.hits as f64 / self.btb.lookups as f64
     }
+
+    /// Fraction of PFC restreams that steered onto a wrong path
+    /// (harmful PFC, §VI-B).
+    pub fn pfc_harmful_rate(&self) -> f64 {
+        if self.pfc_restreams == 0 {
+            return 0.0;
+        }
+        self.pfc_harmful as f64 / self.pfc_restreams as f64
+    }
+}
+
+fn cache_json(c: &CacheStats) -> Json {
+    Json::obj()
+        .with("demand_accesses", c.demand_accesses)
+        .with("demand_hits", c.demand_hits)
+        .with("demand_misses", c.demand_misses)
+        .with("demand_merged", c.demand_merged)
+        .with("prefetch_requests", c.prefetch_requests)
+        .with("prefetch_fills", c.prefetch_fills)
+        .with("prefetch_dropped", c.prefetch_dropped)
+        .with("useful_prefetches", c.useful_prefetches)
+        .with("tag_probes", c.tag_probes)
+        .with("evictions", c.evictions)
+}
+
+impl ToJson for SimStats {
+    /// Serializes as `{counters: {...}, derived: {...}}` — every raw
+    /// counter (with nested `l1i`/`l1d`/`l2`/`traffic`/`btb` groups)
+    /// plus every derived metric. The field names are the schema
+    /// documented in `docs/METRICS.md`.
+    fn to_json(&self) -> Json {
+        let counters = Json::obj()
+            .with("cycles", self.cycles)
+            .with("retired", self.retired)
+            .with("retired_branches", self.retired_branches)
+            .with("retired_cond", self.retired_cond)
+            .with("mispredicts", self.mispredicts)
+            .with("misp_cond_dir", self.misp_cond_dir)
+            .with("misp_undetected", self.misp_undetected)
+            .with("misp_indirect", self.misp_indirect)
+            .with("misp_return", self.misp_return)
+            .with("flushes", self.flushes)
+            .with("pfc_restreams", self.pfc_restreams)
+            .with("pfc_case1", self.pfc_case1)
+            .with("pfc_case2", self.pfc_case2)
+            .with("pfc_harmful", self.pfc_harmful)
+            .with("fixup_flushes", self.fixup_flushes)
+            .with("starvation_cycles", self.starvation_cycles)
+            .with("ftq_occupancy_sum", self.ftq_occupancy_sum)
+            .with("miss_covered", self.miss_covered)
+            .with("miss_partial", self.miss_partial)
+            .with("miss_full", self.miss_full)
+            .with("prefetch_candidates", self.prefetch_candidates)
+            .with("l1i", cache_json(&self.l1i))
+            .with("l1d", cache_json(&self.l1d))
+            .with("l2", cache_json(&self.l2))
+            .with(
+                "traffic",
+                Json::obj()
+                    .with("dram_accesses", self.traffic.dram_accesses)
+                    .with("prefetch_traffic", self.traffic.prefetch_traffic)
+                    .with("ifetch_wait_cycles", self.traffic.ifetch_wait_cycles),
+            )
+            .with(
+                "btb",
+                Json::obj()
+                    .with("lookups", self.btb.lookups)
+                    .with("hits", self.btb.hits)
+                    .with("allocs", self.btb.allocs),
+            );
+        let derived = Json::obj()
+            .with("ipc", self.ipc())
+            .with("branch_mpki", self.branch_mpki())
+            .with("l1i_mpki", self.l1i_mpki())
+            .with("starvation_pki", self.starvation_pki())
+            .with("icache_tag_pki", self.icache_tag_pki())
+            .with("avg_ftq_occupancy", self.avg_ftq_occupancy())
+            .with("exposed_fraction", self.exposed_fraction())
+            .with("btb_hit_rate", self.btb_hit_rate())
+            .with("pfc_harmful_rate", self.pfc_harmful_rate());
+        Json::obj()
+            .with("counters", counters)
+            .with("derived", derived)
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +304,40 @@ mod tests {
         assert_eq!(z.branch_mpki(), 0.0);
         assert_eq!(z.exposed_fraction(), 0.0);
         assert_eq!(z.btb_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn to_json_round_trips_counters_and_derived() {
+        let s = sample();
+        let j = s.to_json();
+        let round = Json::parse(&j.to_string()).unwrap();
+        let counters = round.get("counters").unwrap();
+        assert_eq!(counters.get("cycles").and_then(Json::as_u64), Some(1000));
+        assert_eq!(counters.get("retired").and_then(Json::as_u64), Some(2000));
+        assert!(counters
+            .get("l1i")
+            .and_then(|c| c.get("tag_probes"))
+            .is_some());
+        let derived = round.get("derived").unwrap();
+        assert!((derived.get("ipc").and_then(Json::as_f64).unwrap() - 2.0).abs() < 1e-9);
+        assert!(
+            (derived
+                .get("starvation_pki")
+                .and_then(Json::as_f64)
+                .unwrap()
+                - 50.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn pfc_harmful_rate_guards_zero_restreams() {
+        let mut s = sample();
+        assert_eq!(s.pfc_harmful_rate(), 0.0);
+        s.pfc_restreams = 8;
+        s.pfc_harmful = 2;
+        assert!((s.pfc_harmful_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]

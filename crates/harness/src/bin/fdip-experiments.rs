@@ -4,18 +4,36 @@
 //! fdip-experiments all            # every experiment, paper order
 //! fdip-experiments fig7 fig8     # a subset
 //! fdip-experiments --list        # show ids
+//! fdip-experiments --json results.json all
 //! ```
 //!
 //! Scale via `FDIP_INSTRS`, `FDIP_WARMUP`, `FDIP_SUITE=quick|full`.
+//! `--json <path>` (or `FDIP_JSON=<path>`) additionally writes every
+//! report — metrics and tables — as one versioned JSON document (schema:
+//! `docs/METRICS.md`).
 
 use fdip_harness::experiments;
 use fdip_harness::Runner;
+use fdip_telemetry::{Json, RunManifest, ToJson, SCHEMA_VERSION};
+use std::io::Write;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path = std::env::var("FDIP_JSON").ok().filter(|p| !p.is_empty());
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        if i + 1 >= args.len() {
+            eprintln!("--json needs a path");
+            std::process::exit(2);
+        }
+        json_path = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: fdip-experiments [--list] <all | fig1 tab3 tab4 fig6a fig6b fig7..fig14>");
+        eprintln!(
+            "usage: fdip-experiments [--list] [--json <path>] \
+             <all | fig1 tab3 tab4 fig6a fig6b fig7..fig14>"
+        );
         std::process::exit(2);
     }
     if args.iter().any(|a| a == "--list") {
@@ -46,12 +64,39 @@ fn main() {
         runner.names().join(", ")
     );
 
+    let mut reports = Vec::new();
     for e in selected {
         let t = Instant::now();
         println!("### {} — {}", e.id, e.title);
         let report = (e.run)(&runner);
         println!("{report}");
         println!("({} took {:.1}s)\n", e.id, t.elapsed().as_secs_f64());
+        reports.push(report);
     }
     println!("total {:.1}s", t0.elapsed().as_secs_f64());
+
+    if let Some(path) = json_path {
+        let mut manifest = RunManifest::new(
+            "fdip-experiments",
+            runner.suite_name(),
+            runner.warmup(),
+            runner.measure(),
+            runner.len(),
+        );
+        manifest.wall_seconds = t0.elapsed().as_secs_f64();
+        let doc = Json::obj()
+            .with("schema_version", SCHEMA_VERSION)
+            .with("manifest", manifest.to_json())
+            .with(
+                "experiments",
+                Json::Arr(reports.iter().map(ToJson::to_json).collect()),
+            );
+        let write = std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(doc.to_string_pretty().as_bytes()));
+        if let Err(e) = write {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
 }

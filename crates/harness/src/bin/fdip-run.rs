@@ -1,25 +1,39 @@
-//! Single-configuration runner: simulate one workload under one frontend
-//! configuration and print the full statistics block. The tool a
-//! downstream user reaches for before scripting sweeps.
+//! Single-configuration runner: simulate one workload (or a whole suite)
+//! under one frontend configuration, print the full statistics block, and
+//! optionally emit machine-readable `results.json`. The tool a downstream
+//! user reaches for before scripting sweeps.
 //!
 //! ```text
 //! fdip-run --workload server_a --btb 4096 --no-pfc --instrs 500000
 //! fdip-run --list-workloads
 //! fdip-run --workload spec_a --policy ghr3 --prefetcher eip27 --ftq 12
+//! fdip-run --json results.json              # quick suite -> results.json
+//! fdip-run --suite full --json results.json
 //! ```
+//!
+//! `--json <path>` (or the `FDIP_JSON` env var) writes the versioned
+//! results schema documented in `docs/METRICS.md`.
 
 use fdip_bpred::{GshareConfig, HistoryPolicy, TageConfig};
+use fdip_harness::{Runner, SuiteResult, WorkloadResult};
 use fdip_prefetch::PrefetcherKind;
 use fdip_program::workload;
-use fdip_sim::{run_workload, CoreConfig, DirectionConfig};
+use fdip_sim::{run_workload_detailed, CoreConfig, DirectionConfig, SimStats};
+use fdip_telemetry::RunManifest;
+use std::path::Path;
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fdip-run [options]
   --workload <name>      workload from the suite (default server_a)
   --list-workloads       print suite names and exit
-  --instrs <n>           measured instructions (default 200000)
-  --warmup <n>           timed warm-up instructions (default 50000)
+  --suite <quick|full>   run a whole suite instead of one workload
+  --json <path>          write results.json (schema: docs/METRICS.md);
+                         with no --workload/--suite, runs the quick suite.
+                         FDIP_JSON=<path> is the env equivalent
+  --instrs <n>           measured instructions (default FDIP_INSTRS or 200000)
+  --warmup <n>           timed warm-up instructions (default FDIP_WARMUP or 50000)
   --ftq <entries>        FTQ depth (default 24; 2 = no FDP)
   --btb <entries>        BTB entries (default 8192)
   --btb-latency <cyc>    BTB latency (default 2)
@@ -74,18 +88,37 @@ fn parse_direction(s: &str) -> DirectionConfig {
     }
 }
 
+/// Writes the suite result, reporting failure on stderr with exit 1.
+fn emit_json(suite: &SuiteResult, path: &str) {
+    if let Err(e) = suite.write_json_file(Path::new(path)) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut name = "server_a".to_string();
-    let mut instrs = 200_000u64;
-    let mut warmup = 50_000u64;
+    let mut name: Option<String> = None;
+    let mut suite_arg: Option<String> = None;
+    let mut json_path = std::env::var("FDIP_JSON").ok().filter(|p| !p.is_empty());
+    let env_u64 = |var: &str, default: u64| {
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let mut instrs = env_u64("FDIP_INSTRS", 200_000);
+    let mut warmup = env_u64("FDIP_WARMUP", 50_000);
     let mut cfg = CoreConfig::fdp();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = || it.next().cloned().unwrap_or_else(|| usage());
         match a.as_str() {
-            "--workload" => name = val(),
+            "--workload" => name = Some(val()),
+            "--suite" => suite_arg = Some(val()),
+            "--json" => json_path = Some(val()),
             "--list-workloads" => {
                 for w in workload::suite() {
                     println!("{} ({})", w.name, w.family);
@@ -112,6 +145,51 @@ fn main() {
         }
     }
 
+    // A whole-suite run: explicit --suite, or --json without a specific
+    // workload (the CI-friendly "produce results.json" invocation).
+    let suite_name = match suite_arg.as_deref() {
+        Some("quick") => Some("quick"),
+        Some("full") => Some("full"),
+        Some(_) => usage(),
+        None if json_path.is_some() && name.is_none() => Some("quick"),
+        None => None,
+    };
+    if let Some(sname) = suite_name {
+        let workloads = if sname == "full" {
+            workload::suite()
+        } else {
+            workload::quick_suite()
+        };
+        let runner = Runner::new(workloads, warmup, instrs).with_suite_name(sname);
+        eprintln!(
+            "suite {}: {} workloads [{}]",
+            sname,
+            runner.len(),
+            runner.names().join(", ")
+        );
+        let suite = runner.run_suite(&cfg, "fdip-run");
+        println!(
+            "{:<12} {:>8} {:>12} {:>10} {:>14}",
+            "workload", "IPC", "branch MPKI", "L1I MPKI", "starvation/KI"
+        );
+        for w in &suite.workloads {
+            println!(
+                "{:<12} {:>8.4} {:>12.2} {:>10.2} {:>14.1}",
+                w.name,
+                w.stats.ipc(),
+                w.stats.branch_mpki(),
+                w.stats.l1i_mpki(),
+                w.stats.starvation_pki()
+            );
+        }
+        println!("geomean IPC  {:>8.4}", suite.geomean_ipc());
+        if let Some(path) = &json_path {
+            emit_json(&suite, path);
+        }
+        return;
+    }
+
+    let name = name.unwrap_or_else(|| "server_a".to_string());
     let wl = workload::suite()
         .into_iter()
         .find(|w| w.name == name)
@@ -127,7 +205,27 @@ fn main() {
         program.static_branch_count()
     );
 
-    let s = run_workload(&cfg, &program, warmup, instrs);
+    let t0 = Instant::now();
+    let (s, dists) = run_workload_detailed(&cfg, &program, warmup, instrs);
+    if let Some(path) = &json_path {
+        let mut manifest =
+            RunManifest::new("fdip-run", &format!("workload:{name}"), warmup, instrs, 1);
+        manifest.wall_seconds = t0.elapsed().as_secs_f64();
+        let suite = SuiteResult {
+            manifest,
+            workloads: vec![WorkloadResult {
+                name: name.clone(),
+                family: wl.family.to_string(),
+                stats: s,
+                dists,
+            }],
+        };
+        emit_json(&suite, path);
+    }
+    print_stats(&s);
+}
+
+fn print_stats(s: &SimStats) {
     println!("cycles               {:>12}", s.cycles);
     println!("instructions         {:>12}", s.retired);
     println!("IPC                  {:>12.4}", s.ipc());

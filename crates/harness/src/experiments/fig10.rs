@@ -15,8 +15,11 @@ pub(super) fn run(runner: &Runner) -> Report {
         "Fig. 10 — SN4L+Dis (±BTB prefetching) speedup over baseline (%) and MPKI",
         &["config", "PFC off %", "PFC on %", "MPKI off", "MPKI on"],
     );
-    let btbs: [(&str, usize, bool); 3] =
-        [("2K", 2048, false), ("8K", 8192, false), ("perfBTB", 8192, true)];
+    let btbs: [(&str, usize, bool); 3] = [
+        ("2K", 2048, false),
+        ("8K", 8192, false),
+        ("perfBTB", 8192, true),
+    ];
     for (btb_label, entries, perfect) in btbs {
         for policy in [HistoryPolicy::Thr, HistoryPolicy::Ghr3] {
             for (pf_label, pf) in [

@@ -11,7 +11,10 @@ pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig12");
     let base = baseline(runner);
     let points: [(&str, DirectionConfig); 5] = [
-        ("Gshare-8KB", DirectionConfig::Gshare(GshareConfig::default())),
+        (
+            "Gshare-8KB",
+            DirectionConfig::Gshare(GshareConfig::default()),
+        ),
         ("TAGE-9KB", DirectionConfig::Tage(TageConfig::kb9())),
         ("TAGE-18KB", DirectionConfig::Tage(TageConfig::kb18())),
         ("TAGE-36KB", DirectionConfig::Tage(TageConfig::kb36())),

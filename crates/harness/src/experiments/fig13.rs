@@ -14,8 +14,12 @@ pub(super) fn run(runner: &Runner) -> Report {
         "Fig. 13a — FDP speedup over baseline (%), by prediction bandwidth",
         &["bandwidth", "speedup %"],
     );
-    let bws: [(&str, usize, bool); 4] =
-        [("B6", 6, false), ("B12", 12, false), ("B18", 18, false), ("B18m", 18, true)];
+    let bws: [(&str, usize, bool); 4] = [
+        ("B6", 6, false),
+        ("B12", 12, false),
+        ("B18", 18, false),
+        ("B18m", 18, true),
+    ];
     for (label, bw, multi) in bws {
         let cfg = CoreConfig {
             pred_bw: bw,

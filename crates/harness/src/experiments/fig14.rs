@@ -9,8 +9,7 @@ pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig14");
     // Normalised to the 2-entry FTQ (== no FDP), as in the paper.
     let base = runner.run_config(&CoreConfig::fdp().with_ftq(2));
-    let base_exposed: f64 =
-        Runner::mean_of(&base, |s| (s.miss_partial + s.miss_full) as f64);
+    let base_exposed: f64 = Runner::mean_of(&base, |s| (s.miss_partial + s.miss_full) as f64);
 
     let mut t = Table::new(
         "Fig. 14 — FTQ size sensitivity (speedup vs 2-entry FTQ; miss exposure)",

@@ -61,7 +61,8 @@ pub(super) fn run_a(runner: &Runner) -> Report {
 pub(super) fn run_b(runner: &Runner) -> Report {
     let mut report = Report::new("fig6b");
     let base_no_fdp = runner.run_config(&CoreConfig::no_fdp());
-    let eip_no_fdp = runner.run_config(&CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Eip128));
+    let eip_no_fdp =
+        runner.run_config(&CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Eip128));
     let base_fdp = runner.run_config(&CoreConfig::fdp());
     let eip_fdp = runner.run_config(&CoreConfig::fdp().with_prefetcher(PrefetcherKind::Eip128));
 

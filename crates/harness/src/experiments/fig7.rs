@@ -10,7 +10,13 @@ pub(super) fn run(runner: &Runner) -> Report {
     let base = baseline(runner);
     let mut t = Table::new(
         "Fig. 7 — FDP speedup over baseline (%) and branch MPKI, by BTB size",
-        &["BTB entries", "PFC off %", "PFC on %", "MPKI off", "MPKI on"],
+        &[
+            "BTB entries",
+            "PFC off %",
+            "PFC on %",
+            "MPKI off",
+            "MPKI on",
+        ],
     );
     for entries in [1024usize, 2048, 4096, 8192, 16384, 32768] {
         let off = runner.run_config(&CoreConfig::fdp().with_btb_entries(entries).with_pfc(false));

@@ -28,7 +28,9 @@ pub(super) fn run(runner: &Runner) -> Report {
         // Fixup-flush cost is the mechanism behind GHR2/GHR3's stalls.
         report.metric(
             &format!("fixups_per_ki_{}", policy.label()),
-            Runner::mean_of(&on, |s| 1000.0 * s.fixup_flushes as f64 / s.retired.max(1) as f64),
+            Runner::mean_of(&on, |s| {
+                1000.0 * s.fixup_flushes as f64 / s.retired.max(1) as f64
+            }),
         );
     }
     report.tables.push(t);

@@ -29,11 +29,23 @@ pub(super) fn tab4(_runner: &Runner) -> Report {
     let cfg = CoreConfig::fdp();
     let mut t = Table::new("Table IV — common core parameters", &["parameter", "value"]);
     let rows: Vec<(&str, String)> = vec![
-        ("Fetch width", format!("{} instructions/cycle", cfg.fetch_width)),
+        (
+            "Fetch width",
+            format!("{} instructions/cycle", cfg.fetch_width),
+        ),
         ("Decode width", format!("{}", cfg.decode_width)),
-        ("Prediction bandwidth", format!("{} instructions/cycle", cfg.pred_bw)),
+        (
+            "Prediction bandwidth",
+            format!("{} instructions/cycle", cfg.pred_bw),
+        ),
         ("FTQ", format!("{} entries (32B blocks)", cfg.ftq_entries)),
-        ("BTB", format!("{} entries, {}-way, {}-cycle", cfg.btb.entries, cfg.btb.assoc, cfg.btb_latency)),
+        (
+            "BTB",
+            format!(
+                "{} entries, {}-way, {}-cycle",
+                cfg.btb.entries, cfg.btb.assoc, cfg.btb_latency
+            ),
+        ),
         ("History policy", cfg.policy.label().to_string()),
         ("PFC", format!("{}", cfg.pfc)),
         ("ROB", format!("{} entries", cfg.backend.rob_size)),

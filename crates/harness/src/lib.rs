@@ -22,6 +22,8 @@
 pub mod experiments;
 mod report;
 mod runner;
+mod suite;
 
 pub use report::{Report, Table};
 pub use runner::{geomean, Runner};
+pub use suite::{SuiteResult, WorkloadResult};

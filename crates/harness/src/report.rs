@@ -1,5 +1,6 @@
 //! Text-table reports mirroring the paper's figures.
 
+use fdip_telemetry::{Json, ToJson};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -109,6 +110,38 @@ impl Report {
     }
 }
 
+impl ToJson for Table {
+    /// Serializes as `{title, columns, rows}` with rows as string
+    /// arrays (cells keep their display formatting).
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("title", self.title.as_str())
+            .with("columns", self.columns.clone())
+            .with(
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| Json::from(r.clone())).collect()),
+            )
+    }
+}
+
+impl ToJson for Report {
+    /// Serializes as `{id, metrics, tables}`; `metrics` maps metric
+    /// names to numbers, `tables` mirrors the printed tables.
+    fn to_json(&self) -> Json {
+        let mut metrics = Json::obj();
+        for (k, v) in &self.metrics {
+            metrics.set(k, *v);
+        }
+        Json::obj()
+            .with("id", self.id.as_str())
+            .with("metrics", metrics)
+            .with(
+                "tables",
+                Json::Arr(self.tables.iter().map(ToJson::to_json).collect()),
+            )
+    }
+}
+
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for t in &self.tables {
@@ -144,6 +177,23 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("T", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn report_json_carries_metrics_and_tables() {
+        let mut r = Report::new("fig7");
+        r.metric("fdp_speedup_pct", 14.1);
+        let mut t = Table::new("T", &["cfg", "speedup"]);
+        t.row_f("fdp", &[14.1]);
+        r.tables.push(t);
+        let j = r.to_json();
+        assert_eq!(j.get("id").and_then(Json::as_str), Some("fig7"));
+        let m = j.get("metrics").unwrap();
+        assert_eq!(m.get("fdp_speedup_pct").and_then(Json::as_f64), Some(14.1));
+        let tables = j.get("tables").and_then(Json::as_arr).unwrap();
+        assert_eq!(tables[0].get("title").and_then(Json::as_str), Some("T"));
+        let round = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(round, j);
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! `CoreConfig` over every workload (in parallel), and aggregates the way
 //! the paper does (geometric-mean IPC speedups, arithmetic-mean MPKI).
 
+use crate::suite::{SuiteResult, WorkloadResult};
 use fdip_program::workload::{self, Workload};
 use fdip_program::Program;
-use fdip_sim::{CoreConfig, SimStats, Simulator};
+use fdip_sim::{CoreConfig, SimDists, SimStats, Simulator};
+use fdip_telemetry::RunManifest;
 
 /// Geometric mean of a slice of positive values.
 pub fn geomean(values: &[f64]) -> f64 {
@@ -20,6 +22,7 @@ pub struct Runner {
     workloads: Vec<(Workload, Program)>,
     warmup: u64,
     measure: u64,
+    suite_name: String,
 }
 
 impl Runner {
@@ -36,15 +39,23 @@ impl Runner {
             workloads: built,
             warmup,
             measure,
+            suite_name: "custom".to_string(),
         }
+    }
+
+    /// Names the suite (used in emitted run manifests).
+    #[must_use]
+    pub fn with_suite_name(mut self, name: &str) -> Self {
+        self.suite_name = name.to_string();
+        self
     }
 
     /// Builds the default runner from the environment:
     /// `FDIP_SUITE` (`full`/`quick`), `FDIP_WARMUP`, `FDIP_INSTRS`.
     pub fn from_env() -> Self {
-        let suite = match std::env::var("FDIP_SUITE").as_deref() {
-            Ok("quick") => workload::quick_suite(),
-            _ => workload::suite(),
+        let (suite, suite_name) = match std::env::var("FDIP_SUITE").as_deref() {
+            Ok("quick") => (workload::quick_suite(), "quick"),
+            _ => (workload::suite(), "full"),
         };
         let warmup = std::env::var("FDIP_WARMUP")
             .ok()
@@ -54,17 +65,35 @@ impl Runner {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(200_000);
-        Runner::new(suite, warmup, measure)
+        Runner::new(suite, warmup, measure).with_suite_name(suite_name)
     }
 
     /// A small fixed-size runner for tests and benches.
     pub fn quick(warmup: u64, measure: u64) -> Self {
-        Runner::new(workload::quick_suite(), warmup, measure)
+        Runner::new(workload::quick_suite(), warmup, measure).with_suite_name("quick")
+    }
+
+    /// Warm-up instructions per workload.
+    pub fn warmup(&self) -> u64 {
+        self.warmup
+    }
+
+    /// Measured instructions per workload.
+    pub fn measure(&self) -> u64 {
+        self.measure
+    }
+
+    /// The suite name (`quick`/`full`/`custom`).
+    pub fn suite_name(&self) -> &str {
+        &self.suite_name
     }
 
     /// Workload names, in run order.
     pub fn names(&self) -> Vec<&str> {
-        self.workloads.iter().map(|(w, _)| w.name.as_str()).collect()
+        self.workloads
+            .iter()
+            .map(|(w, _)| w.name.as_str())
+            .collect()
     }
 
     /// Number of workloads.
@@ -80,6 +109,15 @@ impl Runner {
     /// Runs `cfg` over every workload (one thread per workload) and
     /// returns per-workload statistics in suite order.
     pub fn run_config(&self, cfg: &CoreConfig) -> Vec<SimStats> {
+        self.run_config_detailed(cfg)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Like [`Runner::run_config`], but also returns each workload's
+    /// distribution telemetry.
+    pub fn run_config_detailed(&self, cfg: &CoreConfig) -> Vec<(SimStats, SimDists)> {
         let (warmup, measure) = (self.warmup, self.measure);
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -89,12 +127,45 @@ impl Runner {
                     let cfg = cfg.clone();
                     scope.spawn(move || {
                         let mut sim = Simulator::new(cfg, program, 0xf0cc_ed);
-                        sim.run(warmup, measure)
+                        sim.run_detailed(warmup, measure)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sim thread"))
+                .collect()
         })
+    }
+
+    /// Runs `cfg` over the whole suite and packages the results (with a
+    /// stamped [`RunManifest`]) for JSON emission.
+    pub fn run_suite(&self, cfg: &CoreConfig, tool: &str) -> SuiteResult {
+        let t0 = std::time::Instant::now();
+        let results = self.run_config_detailed(cfg);
+        let workloads = self
+            .workloads
+            .iter()
+            .zip(results)
+            .map(|((w, _), (stats, dists))| WorkloadResult {
+                name: w.name.clone(),
+                family: w.family.to_string(),
+                stats,
+                dists,
+            })
+            .collect();
+        let mut manifest = RunManifest::new(
+            tool,
+            &self.suite_name,
+            self.warmup,
+            self.measure,
+            self.workloads.len(),
+        );
+        manifest.wall_seconds = t0.elapsed().as_secs_f64();
+        SuiteResult {
+            manifest,
+            workloads,
+        }
     }
 
     /// Geometric-mean IPC speedup of `other` over `base`, in percent
@@ -134,7 +205,23 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
         assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_empty_slice_is_zero() {
+        // An empty suite aggregates to 0, not NaN.
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_single_element_is_identity() {
+        assert!((geomean(&[3.7]) - 3.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_clamps_nonpositive_inputs() {
+        // Zero/negative IPCs (a broken run) must not produce NaN.
+        assert!(geomean(&[0.0, 4.0]).is_finite());
     }
 
     #[test]
@@ -155,6 +242,21 @@ mod tests {
         let b = r.run_config(&CoreConfig::fdp());
         let s = Runner::speedup_pct(&a, &b);
         assert!(s.abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn run_suite_packages_manifest_and_workloads() {
+        let r = Runner::quick(1_000, 5_000);
+        let suite = r.run_suite(&CoreConfig::fdp(), "test-run");
+        assert_eq!(suite.manifest.suite, "quick");
+        assert_eq!(suite.manifest.workload_count, 3);
+        assert_eq!(suite.workloads.len(), 3);
+        assert!(suite.manifest.wall_seconds > 0.0);
+        assert!(suite.geomean_ipc() > 0.1);
+        for w in &suite.workloads {
+            assert_eq!(w.dists.ftq_occupancy.count(), w.stats.cycles);
+            assert!(w.dists.prefetch_lead_time.count() > 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! End-to-end check of the machine-readable pipeline: run the actual
+//! `fdip-run` binary with `--json`, then parse the emitted file back
+//! through the in-repo JSON reader and verify the documented schema.
+
+use fdip_telemetry::{Json, SCHEMA_VERSION};
+use std::process::Command;
+
+fn run_quick_suite_json(path: &std::path::Path, extra: &[&str]) -> Json {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fdip-run"));
+    cmd.args([
+        "--json",
+        path.to_str().unwrap(),
+        "--warmup",
+        "1000",
+        "--instrs",
+        "5000",
+    ]);
+    cmd.args(extra);
+    let out = cmd.output().expect("fdip-run spawns");
+    assert!(
+        out.status.success(),
+        "fdip-run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(path).expect("results file written");
+    Json::parse(&text).expect("emitted file is valid JSON")
+}
+
+#[test]
+fn fdip_run_json_emits_the_documented_schema() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("fdip_results_{}.json", std::process::id()));
+    let doc = run_quick_suite_json(&path, &[]);
+    std::fs::remove_file(&path).ok();
+
+    // Top level: versioned schema with manifest, workloads, aggregate.
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(SCHEMA_VERSION)
+    );
+    let manifest = doc.get("manifest").expect("manifest present");
+    assert_eq!(
+        manifest.get("tool").and_then(Json::as_str),
+        Some("fdip-run")
+    );
+    assert_eq!(manifest.get("suite").and_then(Json::as_str), Some("quick"));
+    assert_eq!(
+        manifest.get("workload_count").and_then(Json::as_u64),
+        Some(3)
+    );
+    assert!(manifest
+        .get("git_revision")
+        .and_then(Json::as_str)
+        .is_some());
+    assert!(manifest.get("wall_seconds").and_then(Json::as_f64).unwrap() > 0.0);
+
+    // Per-workload: IPC/MPKI plus the two headline histograms.
+    let workloads = doc.get("workloads").and_then(Json::as_arr).unwrap();
+    assert_eq!(workloads.len(), 3);
+    for w in workloads {
+        let name = w.get("name").and_then(Json::as_str).unwrap();
+        let derived = w.get("derived").expect("derived metrics");
+        let ipc = derived.get("ipc").and_then(Json::as_f64).unwrap();
+        assert!(ipc > 0.1 && ipc < 8.0, "{name}: implausible IPC {ipc}");
+        assert!(derived.get("branch_mpki").and_then(Json::as_f64).is_some());
+        assert!(derived.get("l1i_mpki").and_then(Json::as_f64).is_some());
+
+        let cycles = w
+            .get("counters")
+            .and_then(|c| c.get("cycles"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        let hists = w.get("histograms").expect("histograms present");
+        let ftq_count = hists
+            .get("ftq_occupancy")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert_eq!(ftq_count, cycles, "{name}: one occupancy sample per cycle");
+        let lead_count = hists
+            .get("prefetch_lead_time")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(lead_count > 0, "{name}: lead-time histogram empty");
+
+        let samples = w.get("sampled_ipc").and_then(Json::as_arr).unwrap();
+        for s in samples {
+            assert!(s.as_f64().unwrap() >= 0.0);
+        }
+    }
+
+    let agg = doc.get("aggregate").expect("aggregate present");
+    assert!(agg.get("geomean_ipc").and_then(Json::as_f64).unwrap() > 0.1);
+}
+
+#[test]
+fn fdip_run_single_workload_json_wraps_one_result() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("fdip_single_{}.json", std::process::id()));
+    let doc = run_quick_suite_json(&path, &["--workload", "spec_a"]);
+    std::fs::remove_file(&path).ok();
+
+    let manifest = doc.get("manifest").unwrap();
+    assert_eq!(
+        manifest.get("suite").and_then(Json::as_str),
+        Some("workload:spec_a")
+    );
+    let workloads = doc.get("workloads").and_then(Json::as_arr).unwrap();
+    assert_eq!(workloads.len(), 1);
+    assert_eq!(
+        workloads[0].get("name").and_then(Json::as_str),
+        Some("spec_a")
+    );
+}

@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let mut c = small(); // 8 sets, 2 ways
-        // Three lines mapping to set 0 (multiples of 8).
+                             // Three lines mapping to set 0 (multiples of 8).
         c.fill(0, 0, false);
         c.fill(8, 0, false);
         c.probe_demand(0, 1); // touch line 0 so line 8 is LRU

@@ -144,8 +144,10 @@ impl Djolt {
         if self.fifo.len() > self.config.long_depth {
             self.fifo.remove(0);
         }
-        self.short.lookup(self.signature(self.config.short_depth), out);
-        self.long.lookup(self.signature(self.config.long_depth), out);
+        self.short
+            .lookup(self.signature(self.config.short_depth), out);
+        self.long
+            .lookup(self.signature(self.config.long_depth), out);
     }
 
     /// Retired-branch hook without prefetch output (signature update
@@ -160,8 +162,10 @@ impl Djolt {
     pub fn on_access(&mut self, line: u64, hit: bool, _now: fdip_types::Cycle, out: &mut Vec<u64>) {
         let _ = out;
         if !hit {
-            self.short.record(self.signature(self.config.short_depth), line);
-            self.long.record(self.signature(self.config.long_depth), line);
+            self.short
+                .record(self.signature(self.config.short_depth), line);
+            self.long
+                .record(self.signature(self.config.long_depth), line);
         }
     }
 
@@ -241,7 +245,12 @@ mod tests {
         call(&mut p, 0x1, 0x10);
         p.on_access(5, true, 0, &mut out);
         // Re-entering the context replays only recorded (missed) lines.
-        p.on_branch_prefetch(Addr::new(0x1), BranchKind::DirectCall, Addr::new(0x10), &mut out);
+        p.on_branch_prefetch(
+            Addr::new(0x1),
+            BranchKind::DirectCall,
+            Addr::new(0x10),
+            &mut out,
+        );
         assert!(!out.contains(&5), "{out:?}");
     }
 

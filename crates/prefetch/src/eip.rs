@@ -208,7 +208,8 @@ mod tests {
         p.on_access(stream[0], true, 4_000, &mut out);
         let min_ahead = (cfg.lead_cycles / 10) as usize;
         assert!(
-            out.iter().any(|&l| l >= stream[min_ahead.min(stream.len() - 1)]),
+            out.iter()
+                .any(|&l| l >= stream[min_ahead.min(stream.len() - 1)]),
             "{out:?}"
         );
     }

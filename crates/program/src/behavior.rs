@@ -168,10 +168,15 @@ mod tests {
     #[test]
     fn pattern_repeats_with_period() {
         // Pattern T N T T (LSB first: bits 0b1101).
-        let b = BranchBehavior::Pattern { bits: 0b1011, len: 4 };
+        let b = BranchBehavior::Pattern {
+            bits: 0b1011,
+            len: 4,
+        };
         let mut st = BranchState::default();
         let mut r = rng();
-        let seq: Vec<bool> = (0..8).map(|_| b.decide_direction(&mut st, &mut r)).collect();
+        let seq: Vec<bool> = (0..8)
+            .map(|_| b.decide_direction(&mut st, &mut r))
+            .collect();
         assert_eq!(seq, vec![true, true, false, true, true, true, false, true]);
     }
 
@@ -181,7 +186,9 @@ mod tests {
         let mut st = BranchState::default();
         let mut r = rng();
         // A 4-trip loop back-edge: T T T N, repeating.
-        let seq: Vec<bool> = (0..8).map(|_| b.decide_direction(&mut st, &mut r)).collect();
+        let seq: Vec<bool> = (0..8)
+            .map(|_| b.decide_direction(&mut st, &mut r))
+            .collect();
         assert_eq!(seq, vec![true, true, true, false, true, true, true, false]);
     }
 

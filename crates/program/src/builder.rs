@@ -308,7 +308,10 @@ impl ProgramBuilder {
             .iter()
             .map(|&s| addr_of(s))
             .collect();
-        let earlier: Vec<Addr> = func.block_starts[..=bi].iter().map(|&s| addr_of(s)).collect();
+        let earlier: Vec<Addr> = func.block_starts[..=bi]
+            .iter()
+            .map(|&s| addr_of(s))
+            .collect();
         let roll: f64 = rng.gen();
         let cond_cut = p.cond_fraction;
         let call_cut = cond_cut + p.call_fraction;
@@ -324,7 +327,9 @@ impl ProgramBuilder {
             (StaticInstr::branch(BranchKind::DirectJump, t), None)
         } else if roll < ind_cut && later.len() >= 2 {
             let n = rng.gen_range(2..=later.len().min(8));
-            let targets: Vec<Addr> = (0..n).map(|_| later[rng.gen_range(0..later.len())]).collect();
+            let targets: Vec<Addr> = (0..n)
+                .map(|_| later[rng.gen_range(0..later.len())])
+                .collect();
             let select = if rng.gen_bool(0.5) {
                 IndirectSelect::RoundRobin
             } else {
@@ -414,7 +419,10 @@ impl ProgramBuilder {
                 p_taken: rng.gen_range(0.25..0.75),
             }
         };
-        (StaticInstr::branch(BranchKind::CondDirect, t), Some(behavior))
+        (
+            StaticInstr::branch(BranchKind::CondDirect, t),
+            Some(behavior),
+        )
     }
 }
 
@@ -461,7 +469,10 @@ mod tests {
             let a = img.addr_of(i);
             if let InstrKind::Branch { kind, target } = img.instr_at(a).kind {
                 if kind.is_direct() {
-                    assert!(img.contains(target), "branch at {a} targets unmapped {target}");
+                    assert!(
+                        img.contains(target),
+                        "branch at {a} targets unmapped {target}"
+                    );
                 }
             }
         }
@@ -512,7 +523,10 @@ mod tests {
         let mut found_loopback = false;
         for i in 0..img.len() {
             let a = img.addr_of(i);
-            if let InstrKind::Branch { kind: BranchKind::DirectJump, target } = img.instr_at(a).kind
+            if let InstrKind::Branch {
+                kind: BranchKind::DirectJump,
+                target,
+            } = img.instr_at(a).kind
             {
                 if target == p.entry() {
                     found_loopback = true;

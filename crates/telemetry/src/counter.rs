@@ -1,0 +1,91 @@
+//! A saturating event counter.
+
+use crate::json::Json;
+use crate::ToJson;
+
+/// A named-by-context event counter that saturates instead of wrapping.
+///
+/// The simulator's own `SimStats` keeps raw `u64` fields for speed; this
+/// type exists for ad-hoc instrumentation where a self-describing value
+/// (with delta support for warmup subtraction) is more convenient than a
+/// bare integer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds one event.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Adds `n` events, saturating at `u64::MAX`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Events accumulated since `earlier` (saturating at zero).
+    ///
+    /// Used to subtract a warmup snapshot from an end-of-run value.
+    #[must_use]
+    pub fn since(&self, earlier: Counter) -> Counter {
+        Counter(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(n: u64) -> Counter {
+        Counter(n)
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> u64 {
+        c.0
+    }
+}
+
+impl ToJson for Counter {
+    fn to_json(&self) -> Json {
+        Json::from(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_saturates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn since_subtracts_a_snapshot() {
+        let mut c = Counter::new();
+        c.add(10);
+        let snap = c;
+        c.add(5);
+        assert_eq!(c.since(snap).get(), 5);
+        assert_eq!(snap.since(c).get(), 0);
+    }
+}

@@ -240,7 +240,14 @@ mod tests {
     #[test]
     fn directness_partition() {
         use BranchKind::*;
-        for k in [CondDirect, DirectJump, IndirectJump, DirectCall, IndirectCall, Return] {
+        for k in [
+            CondDirect,
+            DirectJump,
+            IndirectJump,
+            DirectCall,
+            IndirectCall,
+            Return,
+        ] {
             // Every branch is exactly one of direct / indirect / return.
             let n = k.is_direct() as u8 + k.is_indirect() as u8 + k.is_return() as u8;
             assert_eq!(n, 1, "{k:?}");

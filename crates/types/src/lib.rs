@@ -24,7 +24,7 @@
 mod addr;
 mod instr;
 
-pub use addr::{Addr, CACHE_LINE_BYTES, FTQ_BLOCK_BYTES, BTB_SET_BYTES, INSTR_BYTES};
+pub use addr::{Addr, BTB_SET_BYTES, CACHE_LINE_BYTES, FTQ_BLOCK_BYTES, INSTR_BYTES};
 pub use instr::{BranchKind, DynInstr, InstrKind, OpClass, StaticInstr};
 
 /// Simulation time, in core clock cycles.

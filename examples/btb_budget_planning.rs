@@ -19,8 +19,14 @@ fn main() {
     let (warmup, measure) = (50_000, 300_000);
     let base = run_workload(&CoreConfig::no_fdp(), &program, warmup, measure);
 
-    println!("-- BTB capacity sweep (FDP frontend), {} --", program.name());
-    println!("{:>8} {:>10} {:>10} {:>12} {:>12}", "BTB", "IPC (PFC)", "IPC (no)", "est. bytes", "PFC gain %");
+    println!(
+        "-- BTB capacity sweep (FDP frontend), {} --",
+        program.name()
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>12}",
+        "BTB", "IPC (PFC)", "IPC (no)", "est. bytes", "PFC gain %"
+    );
     for entries in [1024usize, 2048, 4096, 8192, 16384, 32768] {
         let on = run_workload(
             &CoreConfig::fdp().with_btb_entries(entries),

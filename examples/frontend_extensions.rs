@@ -62,7 +62,11 @@ fn main() {
     // A zipf-ish access pattern: a hot set dominating, cold tail behind.
     for round in 0..200u64 {
         for i in 0..200u64 {
-            let idx = if (round + i) % 10 < 8 { i % 256 } else { (i * 37) % 6000 };
+            let idx = if (round + i) % 10 < 8 {
+                i % 256
+            } else {
+                (i * 37) % 6000
+            };
             btb.lookup(Addr::new(0x10_0000 + idx * 12));
         }
     }

@@ -20,7 +20,10 @@ fn main() {
     let (warmup, measure) = (50_000, 300_000);
     let base = run_workload(&CoreConfig::no_fdp(), &program, warmup, measure);
 
-    println!("workload {}: Table V history-management policies\n", program.name());
+    println!(
+        "workload {}: Table V history-management policies\n",
+        program.name()
+    );
     println!(
         "{:>6} {:>10} {:>8} {:>12} {:>12} {:>12}",
         "policy", "speedup %", "MPKI", "fixups/KI", "BTB allocs", "note"

@@ -29,10 +29,18 @@ fn main() {
     let fdp = run_workload(&CoreConfig::fdp(), &program, warmup, measure);
 
     // 3. Report.
-    println!("baseline : IPC {:.3}  branch MPKI {:5.1}  L1I MPKI {:5.1}",
-        base.ipc(), base.branch_mpki(), base.l1i_mpki());
-    println!("FDP      : IPC {:.3}  branch MPKI {:5.1}  L1I MPKI {:5.1}",
-        fdp.ipc(), fdp.branch_mpki(), fdp.l1i_mpki());
+    println!(
+        "baseline : IPC {:.3}  branch MPKI {:5.1}  L1I MPKI {:5.1}",
+        base.ipc(),
+        base.branch_mpki(),
+        base.l1i_mpki()
+    );
+    println!(
+        "FDP      : IPC {:.3}  branch MPKI {:5.1}  L1I MPKI {:5.1}",
+        fdp.ipc(),
+        fdp.branch_mpki(),
+        fdp.l1i_mpki()
+    );
     println!(
         "FDP speedup: {:+.1}%  (PFC restreams: {}, of which harmful: {})",
         100.0 * (fdp.ipc() / base.ipc() - 1.0),

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, formatting, docs.
+#
+# This is what CI runs (quick-suite scale — FDIP_SUITE=quick is set for
+# the integration tests' child processes via the tests themselves). All
+# cargo invocations are --offline: the three external dependencies
+# resolve to in-tree stand-ins under vendor/ (see Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "verify: OK"

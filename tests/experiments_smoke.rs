@@ -9,7 +9,11 @@ fn tiny_runner() -> Runner {
     // One small workload, very short runs: exercises every code path
     // without caring about metric quality.
     Runner::new(
-        vec![Workload::family_default("spec_a", WorkloadFamily::Spec, 301)],
+        vec![Workload::family_default(
+            "spec_a",
+            WorkloadFamily::Spec,
+            301,
+        )],
         2_000,
         10_000,
     )
@@ -81,7 +85,10 @@ fn fig14_reports_exposure_fractions() {
     // Exposure must not grow with FTQ depth at the endpoints.
     let f2 = rep.get("exposed_frac_ftq2").unwrap();
     let f32 = rep.get("exposed_frac_ftq32").unwrap();
-    assert!(f32 <= f2 + 0.05, "deep FTQ must not expose more: {f2} -> {f32}");
+    assert!(
+        f32 <= f2 + 0.05,
+        "deep FTQ must not expose more: {f2} -> {f32}"
+    );
 }
 
 #[test]

@@ -72,7 +72,10 @@ fn loop_predictor_is_neutral_on_loop_poor_code() {
         80_000,
     );
     let delta = (with_lp.ipc() / base.ipc() - 1.0).abs();
-    assert!(delta < 0.02, "loop predictor should be near-neutral: {delta:.4}");
+    assert!(
+        delta < 0.02,
+        "loop predictor should be near-neutral: {delta:.4}"
+    );
 }
 
 #[test]

@@ -74,10 +74,17 @@ fn pfc_recovers_performance_on_small_btbs() {
 fn pfc_is_neutral_on_huge_btbs() {
     // Paper Fig. 7: +0.1% at 32K entries.
     let r = runner();
-    let off = r.run_config(&CoreConfig::fdp().with_btb_entries(32 * 1024).with_pfc(false));
+    let off = r.run_config(
+        &CoreConfig::fdp()
+            .with_btb_entries(32 * 1024)
+            .with_pfc(false),
+    );
     let on = r.run_config(&CoreConfig::fdp().with_btb_entries(32 * 1024).with_pfc(true));
     let gain = speedup(&off, &on);
-    assert!(gain.abs() < 4.0, "PFC at 32K BTB should be near-neutral, got {gain:.1}%");
+    assert!(
+        gain.abs() < 4.0,
+        "PFC at 32K BTB should be near-neutral, got {gain:.1}%"
+    );
 }
 
 #[test]
@@ -106,7 +113,10 @@ fn perfect_btb_improves_fdp() {
     });
     let gain = speedup(&fdp, &perfect);
     assert!(gain > 0.0, "perfect BTB should help, got {gain:.1}%");
-    assert!(gain < 40.0, "perfect BTB gain implausibly large: {gain:.1}%");
+    assert!(
+        gain < 40.0,
+        "perfect BTB gain implausibly large: {gain:.1}%"
+    );
 }
 
 #[test]
@@ -119,9 +129,15 @@ fn deeper_ftq_monotonically_helps_until_saturation() {
     let s12 = speedup(&f2, &f12);
     let s24 = speedup(&f2, &f24);
     assert!(s12 > 8.0, "12-entry FTQ gain {s12:.1}%");
-    assert!(s24 >= s12 - 1.0, "24-entry should not regress: {s24:.1} vs {s12:.1}");
+    assert!(
+        s24 >= s12 - 1.0,
+        "24-entry should not regress: {s24:.1} vs {s12:.1}"
+    );
     let tail = s24 - s12;
-    assert!(tail < s12 / 2.0, "gains beyond 12 entries should be marginal");
+    assert!(
+        tail < s12 / 2.0,
+        "gains beyond 12 entries should be marginal"
+    );
 }
 
 #[test]
@@ -195,5 +211,8 @@ fn btb_prefetching_helps_small_btbs_under_ghr() {
     let without = r.run_config(&mk(PrefetcherKind::SnfourlDis));
     let with = r.run_config(&mk(PrefetcherKind::SnfourlDisBtb));
     let gain = speedup(&without, &with);
-    assert!(gain > -1.0, "BTB prefetching at 2K/GHR3 should not hurt: {gain:.1}%");
+    assert!(
+        gain > -1.0,
+        "BTB prefetching at 2K/GHR3 should not hurt: {gain:.1}%"
+    );
 }

@@ -1,0 +1,110 @@
+//! Schema/documentation coverage: every key the harness emits into its
+//! JSON documents must be documented in `docs/METRICS.md`.
+//!
+//! This is the drift guard promised by the metrics doc — adding a field
+//! to `SimStats::to_json`, the histograms, the manifest, or the report
+//! serialization without documenting it fails this test.
+
+use fdip_harness::{Report, Runner, Table};
+use fdip_sim::CoreConfig;
+use fdip_telemetry::{Json, RunManifest, ToJson, SCHEMA_VERSION};
+use std::collections::BTreeSet;
+
+/// Collects every object key in `v`, except below `metrics` (experiment
+/// metric names are experiment-specific and documented as such).
+fn collect_keys(v: &Json, keys: &mut BTreeSet<String>) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                keys.insert(k.clone());
+                if k != "metrics" {
+                    collect_keys(child, keys);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for item in items {
+                collect_keys(item, keys);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/METRICS.md");
+    std::fs::read_to_string(path).expect("docs/METRICS.md exists")
+}
+
+fn assert_all_documented(emitted: &Json, doc: &str, context: &str) {
+    let mut keys = BTreeSet::new();
+    collect_keys(emitted, &mut keys);
+    assert!(keys.len() > 10, "{context}: implausibly few keys emitted");
+    let undocumented: Vec<&String> = keys
+        .iter()
+        .filter(|k| !doc.contains(&format!("`{k}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "{context}: fields emitted but not documented in docs/METRICS.md: \
+         {undocumented:?} — document them (and bump schema_version on renames)"
+    );
+}
+
+#[test]
+fn every_results_json_field_is_documented() {
+    // A real (tiny) suite run, so every field of the schema is emitted
+    // through the same path `fdip-run --json` uses.
+    let runner = Runner::quick(500, 3_000);
+    let suite = runner.run_suite(&CoreConfig::fdp(), "metrics-doc-test");
+    let emitted = suite.to_json();
+    assert_eq!(
+        emitted.get("schema_version").and_then(Json::as_u64),
+        Some(SCHEMA_VERSION)
+    );
+    assert_all_documented(&emitted, &doc(), "results.json");
+}
+
+#[test]
+fn every_experiments_json_field_is_documented() {
+    // Mirror the fdip-experiments --json document shape without the
+    // cost of running real experiments.
+    let mut report = Report::new("fig7");
+    report.metric("fdp_speedup_pct", 14.1);
+    let mut table = Table::new("T", &["cfg", "speedup"]);
+    table.row_f("fdp", &[14.1]);
+    report.tables.push(table);
+    let doc_json = Json::obj()
+        .with("schema_version", SCHEMA_VERSION)
+        .with(
+            "manifest",
+            RunManifest::new("fdip-experiments", "quick", 500, 3_000, 3).to_json(),
+        )
+        .with("experiments", Json::Arr(vec![report.to_json()]));
+    assert_all_documented(&doc_json, &doc(), "experiments json");
+}
+
+#[test]
+fn documented_derived_metrics_exist_in_emitted_json() {
+    // The reverse direction for the derived block: the metrics the doc
+    // tabulates must actually be emitted.
+    let runner = Runner::quick(500, 3_000);
+    let suite = runner.run_suite(&CoreConfig::fdp(), "metrics-doc-test");
+    let emitted = suite.to_json();
+    let derived = emitted.get("workloads").and_then(Json::as_arr).unwrap()[0]
+        .get("derived")
+        .expect("derived block");
+    for name in [
+        "ipc",
+        "branch_mpki",
+        "l1i_mpki",
+        "starvation_pki",
+        "icache_tag_pki",
+        "avg_ftq_occupancy",
+        "exposed_fraction",
+        "btb_hit_rate",
+        "pfc_harmful_rate",
+    ] {
+        assert!(derived.get(name).is_some(), "derived metric {name} missing");
+    }
+}

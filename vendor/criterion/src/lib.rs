@@ -1,0 +1,187 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment is offline, so this crate implements the minimal
+//! `criterion` 0.5 surface the workspace's `benches/` use: [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function`, [`Bencher::iter`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up with one call, then runs
+//! whole-closure batches until ~`measurement_millis` have elapsed (bounded
+//! by `sample_size` batches), reporting the mean wall-clock time per
+//! iteration. No statistics, plots, or baselines — this harness exists so
+//! `cargo bench` keeps compiling and gives a usable ns/iter signal, not to
+//! replace criterion's analysis.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+    max_iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, repeating until the time budget or iteration cap is
+    /// reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up round, untimed.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.budget || iters >= self.max_iters {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.measurement, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            _parent: core::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    sample_size: u64,
+    _parent: core::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Shortens or lengthens the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.measurement,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, measurement: Duration, sample_size: u64, mut f: F) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: measurement,
+        max_iters: sample_size.max(1),
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{name:<40} (no iterations timed)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    println!(
+        "{name:<40} {:>12.0} ns/iter ({} iters)",
+        per_iter, b.iters_done
+    );
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            sample_size: 3,
+        };
+        let mut ran = 0u32;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(2),
+            sample_size: 2,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,363 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment is offline, so this crate re-implements the small
+//! proptest API the workspace's tests use: the [`proptest!`] macro,
+//! [`prop_assert!`]/[`prop_assert_eq!`], [`any`], range strategies, tuple
+//! strategies, `prop::collection::vec`, and `prop::option::of`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the generated input via
+//!   `Debug` and panics; minimisation is left to the reader.
+//! * **Fixed deterministic seeding** derived from the test's file/line, so
+//!   failures reproduce across runs. `PROPTEST_CASES` overrides the case
+//!   count (default 64).
+
+use std::fmt;
+
+/// Error carried out of a failing property body by the `prop_assert_*`
+/// macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The generator handed to strategies (SplitMix64 core).
+#[derive(Clone, Debug)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+}
+
+// Strategies compose by reference.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, gen: &mut Gen) -> Self::Value {
+        (**self).generate(gen)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + gen.below(span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy over empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return gen.next_u64() as $t;
+                }
+                lo + gen.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+/// Marker strategy produced by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(core::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, gen: &mut Gen) -> bool {
+        gen.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                gen.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                ($(self.$i.generate(gen),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection and option strategies, mirroring `proptest::prop`.
+pub mod prop {
+    /// `prop::collection` — sized containers of generated elements.
+    pub mod collection {
+        use crate::{Gen, Strategy};
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// A vector whose length is drawn from `size` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                let len = self.size.clone().generate(gen);
+                (0..len).map(|_| self.element.generate(gen)).collect()
+            }
+        }
+    }
+
+    /// `prop::option` — optional values.
+    pub mod option {
+        use crate::{Gen, Strategy};
+
+        /// Strategy for `Option<S::Value>` (`None` 25% of the time, as the
+        /// real crate's default weight).
+        #[derive(Clone, Debug)]
+        pub struct OptionStrategy<S>(S);
+
+        /// Some(value) three times out of four, `None` otherwise.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy(element)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                if gen.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(gen))
+                }
+            }
+        }
+    }
+}
+
+/// Number of cases per property (`PROPTEST_CASES` env override).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs a property: generates `case_count()` inputs from `strategy` and
+/// applies `body`, panicking with the offending input on failure.
+///
+/// Used by the [`proptest!`] macro; not intended for direct calls.
+///
+/// # Panics
+///
+/// Panics when the property body returns an error for any generated input.
+pub fn run_property<S: Strategy>(
+    file: &str,
+    line: u32,
+    strategy: &S,
+    body: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    // Deterministic per-test seed: failures reproduce run over run.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(line);
+    for b in file.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut gen = Gen::new(seed);
+    let cases = case_count();
+    for case in 0..cases {
+        let value = strategy.generate(&mut gen);
+        let rendered = format!("{value:?}");
+        if let Err(e) = body(value) {
+            panic!(
+                "proptest: property failed at {file}:{line} (case {case}/{cases}): {e}\n    input: {rendered}"
+            );
+        }
+    }
+}
+
+/// Declares property tests. Each function takes `name in strategy`
+/// bindings and runs [`case_count()`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property(
+                file!(),
+                line!(),
+                &($($strategy,)+),
+                |($($arg,)+)| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body, reporting the failing input
+/// instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    }};
+}
+
+/// The glob-importable surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 2usize..=6) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((2..=6).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(any::<bool>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn options_mix(opts in prop::collection::vec(prop::option::of(0u64..10), 40..60)) {
+            for o in &opts {
+                if let Some(v) = o {
+                    prop_assert!(*v < 10);
+                }
+            }
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(pair in (0u32..5, 10u32..20)) {
+            prop_assert!(pair.0 < 5);
+            prop_assert!((10..20).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_reports_input() {
+        crate::run_property(file!(), line!(), &(0u64..100,), |(x,)| {
+            prop_assert!(x < 1, "x was {x}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::Gen::new(5);
+        let mut b = crate::Gen::new(5);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
