@@ -23,7 +23,7 @@ pub const IPC_SAMPLE_INTERVAL: u64 = 4096;
 /// histograms own their bucket vectors), and warm-up is excluded by
 /// [`clearing`](SimDists::clear) at the measurement boundary rather than
 /// by snapshot subtraction.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimDists {
     /// FTQ occupancy in entries, sampled once per cycle.
     pub ftq_occupancy: Histogram,

@@ -42,5 +42,5 @@ pub use config::{BackendConfig, CoreConfig, DirectionConfig};
 pub use dists::SimDists;
 pub use ftq::{ftq_overhead_bytes, FillState, Ftq, FtqEntry, SlotBranch};
 pub use hist::HistState;
-pub use sim::{run_workload, run_workload_detailed, Simulator};
+pub use sim::{run_workload, run_workload_detailed, run_workload_job, Simulator};
 pub use stats::SimStats;

@@ -1000,6 +1000,34 @@ pub fn run_workload_detailed(
     sim.run_detailed(warmup, measure)
 }
 
+/// The `Send`-safe (`'static`) run entry point for job pools: owns its
+/// configuration and shares the program behind an [`Arc`](std::sync::Arc),
+/// so the closure capturing the arguments can cross threads without
+/// borrowing the submitter's stack.
+///
+/// Identical results to [`run_workload_detailed`] — same fixed seed, so a
+/// given `(cfg, program, warmup, measure)` is deterministic no matter
+/// which thread runs it.
+pub fn run_workload_job(
+    cfg: CoreConfig,
+    program: std::sync::Arc<Program>,
+    warmup: u64,
+    measure: u64,
+) -> (SimStats, SimDists) {
+    run_workload_detailed(&cfg, &program, warmup, measure)
+}
+
+/// Compile-time proof that everything a pool job captures or returns can
+/// cross threads.
+#[allow(dead_code)]
+fn assert_run_entry_points_are_send() {
+    fn check<T: Send + Sync>() {}
+    check::<CoreConfig>();
+    check::<Program>();
+    check::<SimStats>();
+    check::<SimDists>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,590 @@
+#![warn(missing_docs)]
+//! `fdip-exec` — the bounded work-stealing job pool behind every
+//! simulation sweep.
+//!
+//! The paper's evaluation is a large sweep: every figure re-runs the
+//! workload suite under many `CoreConfig` variants. Those runs are
+//! embarrassingly parallel but must stay **bounded** (the pool never uses
+//! more OS threads than requested) and **deterministic** (results land in
+//! submission order, never completion order).
+//!
+//! The pool is dependency-free: a global injector deque feeds fixed
+//! per-worker queues, and idle workers steal from their siblings. Jobs
+//! are submitted in batches via [`Pool::run_batch`], which blocks until
+//! every job of the batch has finished and returns the results in indexed
+//! slots. A panicking job fails the submitting `run_batch` call (the
+//! panic is re-raised there) instead of killing a worker or hanging the
+//! pool.
+//!
+//! Sizing comes from the `FDIP_JOBS` environment variable (or the
+//! `--jobs` flag of the harness binaries, via [`set_global_jobs`]),
+//! defaulting to [`std::thread::available_parallelism`]. Use
+//! [`global()`] for the shared process-wide pool or [`Pool::new`] for a
+//! private one (tests).
+//!
+//! # Examples
+//!
+//! ```
+//! use fdip_exec::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let squares = pool.run_batch((0u64..8).map(|i| move || i * i).collect::<Vec<_>>());
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! assert_eq!(pool.stats().jobs_completed, 8);
+//! ```
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use fdip_telemetry::{Histogram, Json, ToJson};
+
+/// A type-erased unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, recovering from poisoning (jobs are panic-isolated, so
+/// a poisoned lock only means a peer thread died mid-assert in a test).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Injector state behind the coordination mutex.
+struct State {
+    /// Global FIFO of jobs not yet claimed by any worker.
+    injector: VecDeque<Job>,
+    /// Jobs pushed but not yet taken, across injector *and* stripes.
+    pending: usize,
+    /// Set once by `Drop`; workers exit after draining their queues.
+    shutdown: bool,
+}
+
+/// Aggregate telemetry counters (lock-free where recorded per job).
+#[derive(Default)]
+struct Counters {
+    jobs_completed: AtomicU64,
+    busy_ns: AtomicU64,
+    busy_now: AtomicUsize,
+    peak_busy: AtomicUsize,
+}
+
+/// Everything workers and submitters share.
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    /// Per-worker steal targets. A worker pops its own stripe LIFO (fresh
+    /// sub-jobs stay cache-hot) and steals FIFO from siblings.
+    stripes: Vec<Mutex<VecDeque<Job>>>,
+    counters: Counters,
+    /// Injector depth observed at each job submission.
+    queue_depth: Mutex<Histogram>,
+}
+
+impl Shared {
+    /// Non-blocking take: own stripe, then injector, then steal.
+    fn try_take(&self, id: usize) -> Option<Job> {
+        if let Some(job) = lock(&self.stripes[id]).pop_back() {
+            lock(&self.state).pending -= 1;
+            return Some(job);
+        }
+        {
+            let mut st = lock(&self.state);
+            if let Some(job) = st.injector.pop_front() {
+                st.pending -= 1;
+                return Some(job);
+            }
+        }
+        let n = self.stripes.len();
+        for k in 1..n {
+            let victim = (id + k) % n;
+            if let Some(job) = lock(&self.stripes[victim]).pop_front() {
+                lock(&self.state).pending -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Blocking take; `None` means the pool is shutting down and drained.
+    fn take(&self, id: usize) -> Option<Job> {
+        loop {
+            if let Some(job) = self.try_take(id) {
+                return Some(job);
+            }
+            let mut st = lock(&self.state);
+            loop {
+                if st.pending > 0 {
+                    break; // rescan the queues
+                }
+                if st.shutdown {
+                    return None;
+                }
+                st = self
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Runs one job, tracking how many workers are busy. Per-job time
+    /// and completion counters are recorded by the batch wrapper itself
+    /// (before it signals batch completion, so a submitter that returns
+    /// from `run_batch` always observes its jobs in the stats).
+    fn execute(&self, job: Job) {
+        let busy = self.counters.busy_now.fetch_add(1, Ordering::Relaxed) + 1;
+        self.counters.peak_busy.fetch_max(busy, Ordering::Relaxed);
+        job();
+        self.counters.busy_now.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    /// `(Arc::as_ptr of the pool's Shared, worker index)` when the
+    /// current thread is a pool worker — lets a nested `run_batch` help
+    /// execute jobs instead of deadlocking the pool.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Per-batch completion state: indexed result slots plus a countdown.
+struct Batch<T> {
+    slots: Mutex<Vec<Option<std::thread::Result<T>>>>,
+    remaining: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+/// A bounded pool of worker threads executing submitted job batches.
+///
+/// Dropping the pool shuts the workers down (after draining any queued
+/// jobs) and joins them; [`global()`] returns a process-wide instance
+/// that lives forever.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    created: Instant,
+}
+
+impl Pool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                injector: VecDeque::new(),
+                pending: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            stripes: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            counters: Counters::default(),
+            queue_depth: Mutex::new(Histogram::new()),
+        });
+        let workers = (0..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fdip-exec-{id}"))
+                    .spawn(move || {
+                        WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, id))));
+                        while let Some(job) = shared.take(id) {
+                            shared.execute(job);
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            created: Instant::now(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len().max(self.shared.stripes.len())
+    }
+
+    /// Runs every job of the batch and returns their results in
+    /// **submission order** (indexed slots, not completion order), so a
+    /// sweep collected through the pool is deterministic no matter how
+    /// the scheduler interleaves the work.
+    ///
+    /// Blocks until the whole batch has finished. May be called from
+    /// inside a pool job: the calling worker then helps execute pending
+    /// jobs while it waits, so nested batches cannot deadlock even on a
+    /// single-worker pool.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic payload is re-raised here — the
+    /// submitting call fails, the worker that ran the job survives, and
+    /// the remaining jobs of the batch still complete.
+    pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let batch = Arc::new(Batch {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: Mutex::new(n),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut st = lock(&self.shared.state);
+            let mut depth_hist = lock(&self.shared.queue_depth);
+            for (i, f) in jobs.into_iter().enumerate() {
+                depth_hist.record(st.injector.len() as u64);
+                let batch = Arc::clone(&batch);
+                let shared = Arc::clone(&self.shared);
+                st.injector.push_back(Box::new(move || {
+                    let t0 = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(f));
+                    shared
+                        .counters
+                        .busy_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .jobs_completed
+                        .fetch_add(1, Ordering::Relaxed);
+                    lock(&batch.slots)[i] = Some(result);
+                    let mut rem = lock(&batch.remaining);
+                    *rem -= 1;
+                    if *rem == 0 {
+                        batch.done_cv.notify_all();
+                    }
+                }));
+                st.pending += 1;
+            }
+            self.shared.work_cv.notify_all();
+        }
+        self.wait_for(&batch);
+
+        let slots = std::mem::take(&mut *lock(&batch.slots));
+        let mut out = Vec::with_capacity(n);
+        let mut panic_payload = None;
+        for slot in slots {
+            match slot.expect("batch slot filled") {
+                Ok(v) => out.push(v),
+                Err(p) => panic_payload = panic_payload.or(Some(p)),
+            }
+        }
+        if let Some(p) = panic_payload {
+            resume_unwind(p);
+        }
+        out
+    }
+
+    /// Blocks until `batch` completes; a worker thread helps execute
+    /// pending jobs (its own batch's or anyone else's) instead of idling.
+    fn wait_for<T>(&self, batch: &Batch<T>) {
+        let me = WORKER.with(Cell::get);
+        let helping = matches!(me, Some((pool, _)) if pool == Arc::as_ptr(&self.shared) as usize);
+        loop {
+            if helping {
+                if *lock(&batch.remaining) == 0 {
+                    return;
+                }
+                let id = me.expect("helping implies worker").1;
+                if let Some(job) = self.shared.try_take(id) {
+                    self.shared.execute(job);
+                    continue;
+                }
+            }
+            let mut rem = lock(&batch.remaining);
+            if *rem == 0 {
+                return;
+            }
+            if helping {
+                // Re-check for work soon: our batch may be queued behind
+                // jobs only this worker can reach.
+                let (guard, _) = batch
+                    .done_cv
+                    .wait_timeout(rem, std::time::Duration::from_millis(1))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                rem = guard;
+                if *rem == 0 {
+                    return;
+                }
+            } else {
+                while *rem > 0 {
+                    rem = batch
+                        .done_cv
+                        .wait(rem)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                return;
+            }
+        }
+    }
+
+    /// A snapshot of the pool's lifetime telemetry.
+    pub fn stats(&self) -> PoolStats {
+        let elapsed = self.created.elapsed().as_secs_f64().max(1e-9);
+        let jobs = self.shared.counters.jobs_completed.load(Ordering::Relaxed);
+        let busy_s = self.shared.counters.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        PoolStats {
+            workers: self.threads(),
+            jobs_completed: jobs,
+            peak_busy: self.shared.counters.peak_busy.load(Ordering::Relaxed),
+            busy_fraction: (busy_s / (elapsed * self.threads() as f64)).min(1.0),
+            jobs_per_sec: jobs as f64 / elapsed,
+            queue_depth: lock(&self.shared.queue_depth).clone(),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        lock(&self.shared.state).shutdown = true;
+        self.shared.work_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Lifetime telemetry of a [`Pool`], exported into run manifests.
+///
+/// `workers`, `jobs_completed`, and `peak_busy` are deterministic for a
+/// given sweep; the rates and the queue-depth histogram depend on
+/// wall-clock scheduling and are stripped alongside the manifest's
+/// wall-time fields when comparing runs for determinism.
+#[derive(Clone, Debug)]
+pub struct PoolStats {
+    /// Number of worker threads (the `FDIP_JOBS` bound).
+    pub workers: usize,
+    /// Jobs finished over the pool's lifetime.
+    pub jobs_completed: u64,
+    /// Maximum number of workers simultaneously executing jobs.
+    pub peak_busy: usize,
+    /// Fraction of `workers × elapsed` spent executing jobs, in `[0, 1]`.
+    pub busy_fraction: f64,
+    /// Jobs finished per wall-clock second of pool lifetime.
+    pub jobs_per_sec: f64,
+    /// Injector depth observed at each job submission.
+    pub queue_depth: Histogram,
+}
+
+impl ToJson for PoolStats {
+    /// Serializes as `{workers, jobs_completed, peak_busy, busy_fraction,
+    /// jobs_per_sec, queue_depth}` (histogram in the standard form).
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("workers", self.workers)
+            .with("jobs_completed", self.jobs_completed)
+            .with("peak_busy", self.peak_busy)
+            .with("busy_fraction", self.busy_fraction)
+            .with("jobs_per_sec", self.jobs_per_sec)
+            .with("queue_depth", self.queue_depth.to_json())
+    }
+}
+
+/// Parses a job-count knob value; `None`/invalid/zero fall back to the
+/// machine's available parallelism.
+fn parse_jobs(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .min(512)
+}
+
+/// The pool size the environment asks for: `FDIP_JOBS`, defaulting to
+/// [`std::thread::available_parallelism`].
+pub fn jobs_from_env() -> usize {
+    parse_jobs(std::env::var("FDIP_JOBS").ok().as_deref())
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The shared process-wide pool, created on first use with
+/// [`jobs_from_env`] workers (unless [`set_global_jobs`] ran first).
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(jobs_from_env()))
+}
+
+/// Sizes the global pool explicitly (the `--jobs` flag). Returns `false`
+/// if the global pool was already created — callers should do this
+/// before any simulation work.
+pub fn set_global_jobs(threads: usize) -> bool {
+    GLOBAL.set(Pool::new(threads)).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    #[test]
+    fn every_job_runs_exactly_once_with_results_in_order() {
+        let pool = Pool::new(4);
+        let ran = Arc::new(AtomicU32::new(0));
+        let jobs: Vec<_> = (0u64..64)
+            .map(|i| {
+                let ran = Arc::clone(&ran);
+                move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    i * 3
+                }
+            })
+            .collect();
+        let out = pool.run_batch(jobs);
+        assert_eq!(out, (0u64..64).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+        assert_eq!(pool.stats().jobs_completed, 64);
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let pool = Pool::new(2);
+        let out: Vec<u32> = pool.run_batch(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panic_in_a_job_fails_the_submitting_call_not_the_pool() {
+        let pool = Pool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job exploded")),
+            Box::new(|| 3),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| pool.run_batch(jobs)))
+            .expect_err("panic must propagate to the submitter");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("job exploded"), "payload: {msg}");
+        // The pool is still fully operational afterwards.
+        let out = pool.run_batch(vec![|| 7u32, || 8u32]);
+        assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn single_worker_pool_degrades_to_serial_submission_order() {
+        let pool = Pool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let jobs: Vec<_> = (0usize..32)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                move || {
+                    lock(&order).push(i);
+                    i
+                }
+            })
+            .collect();
+        let out = pool.run_batch(jobs);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+        assert_eq!(*lock(&order), (0..32).collect::<Vec<_>>());
+        assert_eq!(pool.stats().peak_busy, 1);
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_the_worker_bound() {
+        let pool = Pool::new(3);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..24)
+            .map(|_| {
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
+                move || {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.run_batch(jobs);
+        let observed = peak.load(Ordering::SeqCst);
+        assert!(observed <= 3, "peak concurrency {observed} > 3 workers");
+        assert!(pool.stats().peak_busy <= 3);
+    }
+
+    #[test]
+    fn nested_batches_complete_even_on_one_worker() {
+        let pool = Arc::new(Pool::new(1));
+        let inner_pool = Arc::clone(&pool);
+        let out = pool.run_batch(vec![move || {
+            // Submitted from inside a pool job: the worker must help
+            // drain the sub-batch instead of deadlocking on itself.
+            let sub = inner_pool.run_batch(vec![|| 10u32, || 20u32, || 30u32]);
+            sub.iter().sum::<u32>()
+        }]);
+        assert_eq!(out, vec![60]);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let pool = Arc::new(Pool::new(2));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0u64..6)
+                .map(|t| {
+                    let pool = Arc::clone(&pool);
+                    scope.spawn(move || {
+                        let jobs: Vec<_> = (0u64..16).map(|i| move || t * 100 + i).collect();
+                        pool.run_batch(jobs)
+                    })
+                })
+                .collect();
+            for (t, h) in handles.into_iter().enumerate() {
+                let got = h.join().expect("submitter");
+                let want: Vec<u64> = (0..16).map(|i| t as u64 * 100 + i).collect();
+                assert_eq!(got, want, "submitter {t} got foreign results");
+            }
+        });
+        assert_eq!(pool.stats().jobs_completed, 96);
+        assert!(pool.stats().peak_busy <= 2);
+    }
+
+    #[test]
+    fn stats_report_queue_depth_and_rates() {
+        let pool = Pool::new(2);
+        pool.run_batch((0..10).map(|i| move || i).collect::<Vec<_>>());
+        let s = pool.stats();
+        assert_eq!(s.workers, 2);
+        assert_eq!(s.queue_depth.count(), 10);
+        assert!(s.jobs_per_sec > 0.0);
+        assert!((0.0..=1.0).contains(&s.busy_fraction));
+        let j = s.to_json();
+        for key in [
+            "workers",
+            "jobs_completed",
+            "peak_busy",
+            "busy_fraction",
+            "jobs_per_sec",
+            "queue_depth",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn jobs_knob_parses_with_fallback() {
+        assert_eq!(parse_jobs(Some("8")), 8);
+        assert_eq!(parse_jobs(Some(" 3 ")), 3);
+        let fallback = parse_jobs(None);
+        assert!(fallback >= 1);
+        assert_eq!(parse_jobs(Some("0")), fallback);
+        assert_eq!(parse_jobs(Some("not-a-number")), fallback);
+        assert_eq!(parse_jobs(Some("99999")), 512);
+    }
+}

@@ -5,15 +5,21 @@
 //! fdip-experiments fig7 fig8     # a subset
 //! fdip-experiments --list        # show ids
 //! fdip-experiments --json results.json all
+//! fdip-experiments --jobs 4 all  # bound the worker pool
 //! ```
 //!
-//! Scale via `FDIP_INSTRS`, `FDIP_WARMUP`, `FDIP_SUITE=quick|full`.
-//! `--json <path>` (or `FDIP_JSON=<path>`) additionally writes every
-//! report — metrics and tables — as one versioned JSON document (schema:
-//! `docs/METRICS.md`).
+//! Scale via `FDIP_INSTRS`, `FDIP_WARMUP`, `FDIP_SUITE=quick|full`;
+//! parallelism via `--jobs <n>` (or `FDIP_JOBS=<n>`, default: available
+//! cores). Every selected experiment flattens its config × workload grid
+//! into jobs on one shared worker pool, so distinct experiments overlap;
+//! reports are still printed in selection order and are byte-identical
+//! for any worker count. `--json <path>` (or `FDIP_JSON=<path>`)
+//! additionally writes every report — metrics and tables — as one
+//! versioned JSON document (schema: `docs/METRICS.md`) whose manifest
+//! carries the pool telemetry block.
 
 use fdip_harness::experiments;
-use fdip_harness::Runner;
+use fdip_harness::{Report, Runner};
 use fdip_telemetry::{Json, RunManifest, ToJson, SCHEMA_VERSION};
 use std::io::Write;
 use std::time::Instant;
@@ -29,9 +35,22 @@ fn main() {
         json_path = Some(args.remove(i + 1));
         args.remove(i);
     }
+    // --jobs must be handled before anything touches the global pool.
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        if i + 1 >= args.len() {
+            eprintln!("--jobs needs a count");
+            std::process::exit(2);
+        }
+        let n: usize = args.remove(i + 1).parse().unwrap_or_else(|_| {
+            eprintln!("--jobs needs a positive integer");
+            std::process::exit(2);
+        });
+        args.remove(i);
+        fdip_exec::set_global_jobs(n);
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: fdip-experiments [--list] [--json <path>] \
+            "usage: fdip-experiments [--list] [--json <path>] [--jobs <n>] \
              <all | fig1 tab3 tab4 fig6a fig6b fig7..fig14>"
         );
         std::process::exit(2);
@@ -59,18 +78,35 @@ fn main() {
     let t0 = Instant::now();
     let runner = Runner::from_env();
     println!(
-        "suite: {} workloads [{}]\n",
+        "suite: {} workloads [{}], pool: {} workers\n",
         runner.len(),
-        runner.names().join(", ")
+        runner.names().join(", "),
+        runner.pool().threads(),
     );
 
+    // Run every selected experiment concurrently: each gets a submitter
+    // thread that flattens its grid into jobs on the shared pool, so
+    // configs from distinct experiments overlap on the same workers.
+    // Results land in indexed slots and are printed in selection order.
+    let mut slots: Vec<Option<(Report, f64)>> = Vec::new();
+    slots.resize_with(selected.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, e) in slots.iter_mut().zip(&selected) {
+            let runner = &runner;
+            scope.spawn(move || {
+                let t = Instant::now();
+                let report = (e.run)(runner);
+                *slot = Some((report, t.elapsed().as_secs_f64()));
+            });
+        }
+    });
+
     let mut reports = Vec::new();
-    for e in selected {
-        let t = Instant::now();
+    for (e, slot) in selected.iter().zip(slots) {
+        let (report, secs) = slot.expect("experiment thread completed");
         println!("### {} — {}", e.id, e.title);
-        let report = (e.run)(&runner);
         println!("{report}");
-        println!("({} took {:.1}s)\n", e.id, t.elapsed().as_secs_f64());
+        println!("({} took {secs:.1}s)\n", e.id);
         reports.push(report);
     }
     println!("total {:.1}s", t0.elapsed().as_secs_f64());
@@ -84,6 +120,7 @@ fn main() {
             runner.len(),
         );
         manifest.wall_seconds = t0.elapsed().as_secs_f64();
+        manifest.pool = Some(runner.pool().stats().to_json());
         let doc = Json::obj()
             .with("schema_version", SCHEMA_VERSION)
             .with("manifest", manifest.to_json())

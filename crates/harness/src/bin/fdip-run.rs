@@ -32,6 +32,8 @@ fn usage() -> ! {
   --json <path>          write results.json (schema: docs/METRICS.md);
                          with no --workload/--suite, runs the quick suite.
                          FDIP_JSON=<path> is the env equivalent
+  --jobs <n>             worker-pool size for suite runs (default
+                         FDIP_JOBS or available cores)
   --instrs <n>           measured instructions (default FDIP_INSTRS or 200000)
   --warmup <n>           timed warm-up instructions (default FDIP_WARMUP or 50000)
   --ftq <entries>        FTQ depth (default 24; 2 = no FDP)
@@ -119,6 +121,10 @@ fn main() {
             "--workload" => name = Some(val()),
             "--suite" => suite_arg = Some(val()),
             "--json" => json_path = Some(val()),
+            "--jobs" => {
+                let n = val().parse().unwrap_or_else(|_| usage());
+                fdip_exec::set_global_jobs(n);
+            }
             "--list-workloads" => {
                 for w in workload::suite() {
                     println!("{} ({})", w.name, w.family);

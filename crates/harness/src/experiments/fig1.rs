@@ -1,7 +1,7 @@
 //! Fig. 1 — the prefetching limit study that motivates the paper: the
 //! IPC-1 prefetchers with and without a deep-FTQ FDP frontend.
 
-use super::baseline;
+use super::baseline_cfg;
 use crate::report::{Report, Table};
 use crate::runner::Runner;
 use fdip_prefetch::PrefetcherKind;
@@ -9,7 +9,6 @@ use fdip_sim::CoreConfig;
 
 pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig1");
-    let base = baseline(runner);
 
     let prefetchers = [
         PrefetcherKind::None,
@@ -20,15 +19,22 @@ pub(super) fn run(runner: &Runner) -> Report {
         PrefetcherKind::Perfect,
     ];
 
+    // One batch: baseline + (no-FDP, FDP) per prefetcher.
+    let mut cfgs = vec![baseline_cfg()];
+    for pk in prefetchers {
+        cfgs.push(CoreConfig::no_fdp().with_prefetcher(pk));
+        cfgs.push(CoreConfig::fdp().with_prefetcher(pk));
+    }
+    let grid = runner.run_configs(&cfgs);
+    let base = &grid[0];
+
     let mut t = Table::new(
         "Fig. 1 — speedup over baseline (no prefetch, no FDP), %",
         &["prefetcher", "no FDP (2-entry FTQ)", "FDP (24-entry FTQ)"],
     );
-    for pk in prefetchers {
-        let no_fdp = runner.run_config(&CoreConfig::no_fdp().with_prefetcher(pk));
-        let fdp = runner.run_config(&CoreConfig::fdp().with_prefetcher(pk));
-        let s0 = Runner::speedup_pct(&base, &no_fdp);
-        let s1 = Runner::speedup_pct(&base, &fdp);
+    for (i, pk) in prefetchers.into_iter().enumerate() {
+        let s0 = Runner::speedup_pct(base, &grid[1 + 2 * i]);
+        let s1 = Runner::speedup_pct(base, &grid[2 + 2 * i]);
         t.row_f(pk.label(), &[s0, s1]);
         report.metric(&format!("{}_nofdp_pct", pk.label()), s0);
         report.metric(&format!("{}_fdp_pct", pk.label()), s1);

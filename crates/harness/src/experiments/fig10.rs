@@ -1,47 +1,65 @@
 //! Fig. 10 — Divide-and-Conquer (SN4L+Dis) with and without BTB
 //! prefetching, across BTB sizes, history policies and PFC (§VI-E).
 
-use super::baseline;
+use super::baseline_cfg;
 use crate::report::{Report, Table};
 use crate::runner::Runner;
 use fdip_bpred::HistoryPolicy;
 use fdip_prefetch::PrefetcherKind;
 use fdip_sim::CoreConfig;
 
+const BTBS: [(&str, usize, bool); 3] = [
+    ("2K", 2048, false),
+    ("8K", 8192, false),
+    ("perfBTB", 8192, true),
+];
+const POLICIES: [HistoryPolicy; 2] = [HistoryPolicy::Thr, HistoryPolicy::Ghr3];
+const PREFETCHERS: [(&str, PrefetcherKind); 2] = [
+    ("SN4L+Dis", PrefetcherKind::SnfourlDis),
+    ("SN4L+Dis+BTB", PrefetcherKind::SnfourlDisBtb),
+];
+
 pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig10");
-    let base = baseline(runner);
     let mut t = Table::new(
         "Fig. 10 — SN4L+Dis (±BTB prefetching) speedup over baseline (%) and MPKI",
         &["config", "PFC off %", "PFC on %", "MPKI off", "MPKI on"],
     );
-    let btbs: [(&str, usize, bool); 3] = [
-        ("2K", 2048, false),
-        ("8K", 8192, false),
-        ("perfBTB", 8192, true),
-    ];
-    for (btb_label, entries, perfect) in btbs {
-        for policy in [HistoryPolicy::Thr, HistoryPolicy::Ghr3] {
-            for (pf_label, pf) in [
-                ("SN4L+Dis", PrefetcherKind::SnfourlDis),
-                ("SN4L+Dis+BTB", PrefetcherKind::SnfourlDisBtb),
-            ] {
-                let make = |pfc: bool| CoreConfig {
-                    perfect_btb: perfect,
-                    ..CoreConfig::fdp()
-                        .with_btb_entries(entries)
-                        .with_policy(policy)
-                        .with_prefetcher(pf)
-                        .with_pfc(pfc)
-                };
-                let off = runner.run_config(&make(false));
-                let on = runner.run_config(&make(true));
-                let s_off = Runner::speedup_pct(&base, &off);
-                let s_on = Runner::speedup_pct(&base, &on);
+
+    // One batch: baseline + (PFC off, PFC on) per BTB × policy × prefetcher.
+    let mut cfgs = vec![baseline_cfg()];
+    for (_, entries, perfect) in BTBS {
+        for policy in POLICIES {
+            for (_, pf) in PREFETCHERS {
+                for pfc in [false, true] {
+                    cfgs.push(CoreConfig {
+                        perfect_btb: perfect,
+                        ..CoreConfig::fdp()
+                            .with_btb_entries(entries)
+                            .with_policy(policy)
+                            .with_prefetcher(pf)
+                            .with_pfc(pfc)
+                    });
+                }
+            }
+        }
+    }
+    let grid = runner.run_configs(&cfgs);
+    let base = &grid[0];
+
+    let mut at = 1;
+    for (btb_label, _, _) in BTBS {
+        for policy in POLICIES {
+            for (pf_label, _) in PREFETCHERS {
+                let off = &grid[at];
+                let on = &grid[at + 1];
+                at += 2;
+                let s_off = Runner::speedup_pct(base, off);
+                let s_on = Runner::speedup_pct(base, on);
                 let label = format!("{btb_label}/{}/{pf_label}", policy.label());
                 t.row_f(
                     &label,
-                    &[s_off, s_on, Runner::mean_mpki(&off), Runner::mean_mpki(&on)],
+                    &[s_off, s_on, Runner::mean_mpki(off), Runner::mean_mpki(on)],
                 );
                 report.metric(&format!("speedup_{label}_pfc_on"), s_on);
                 report.metric(&format!("speedup_{label}_pfc_off"), s_off);

@@ -1,26 +1,37 @@
 //! Fig. 11 — BTB capacity sensitivity (1K–32K entries) with FDP on/off.
 
-use super::baseline;
+use super::baseline_cfg;
 use crate::report::{Report, Table};
 use crate::runner::Runner;
 use fdip_sim::CoreConfig;
 
+const BTB_SIZES: [usize; 6] = [1024, 2048, 4096, 8192, 16384, 32768];
+
 pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig11");
-    let base = baseline(runner);
+
+    // One batch: baseline + (no FDP, FDP) per BTB capacity.
+    let mut cfgs = vec![baseline_cfg()];
+    for entries in BTB_SIZES {
+        cfgs.push(CoreConfig::no_fdp().with_btb_entries(entries));
+        cfgs.push(CoreConfig::fdp().with_btb_entries(entries));
+    }
+    let grid = runner.run_configs(&cfgs);
+    let base = &grid[0];
+
     let mut t = Table::new(
         "Fig. 11 — speedup over baseline (%) and branch MPKI, by BTB capacity",
         &["BTB entries", "no FDP %", "FDP %", "MPKI noFDP", "MPKI FDP"],
     );
-    for entries in [1024usize, 2048, 4096, 8192, 16384, 32768] {
-        let no_fdp = runner.run_config(&CoreConfig::no_fdp().with_btb_entries(entries));
-        let fdp = runner.run_config(&CoreConfig::fdp().with_btb_entries(entries));
-        let s0 = Runner::speedup_pct(&base, &no_fdp);
-        let s1 = Runner::speedup_pct(&base, &fdp);
+    for (i, entries) in BTB_SIZES.into_iter().enumerate() {
+        let no_fdp = &grid[1 + 2 * i];
+        let fdp = &grid[2 + 2 * i];
+        let s0 = Runner::speedup_pct(base, no_fdp);
+        let s1 = Runner::speedup_pct(base, fdp);
         let label = format!("{}K", entries / 1024);
         t.row_f(
             &label,
-            &[s0, s1, Runner::mean_mpki(&no_fdp), Runner::mean_mpki(&fdp)],
+            &[s0, s1, Runner::mean_mpki(no_fdp), Runner::mean_mpki(fdp)],
         );
         report.metric(&format!("speedup_{label}_nofdp"), s0);
         report.metric(&format!("speedup_{label}_fdp"), s1);

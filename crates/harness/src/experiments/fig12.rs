@@ -1,7 +1,7 @@
 //! Fig. 12 — direction predictor sensitivity: Gshare 8KB, TAGE at
 //! 9/18/36KB, perfect direction, and Perfect-All (§VI-F2).
 
-use super::baseline;
+use super::baseline_cfg;
 use crate::report::{Report, Table};
 use crate::runner::Runner;
 use fdip_bpred::{GshareConfig, TageConfig};
@@ -9,7 +9,6 @@ use fdip_sim::{CoreConfig, DirectionConfig};
 
 pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig12");
-    let base = baseline(runner);
     let points: [(&str, DirectionConfig); 5] = [
         (
             "Gshare-8KB",
@@ -20,34 +19,44 @@ pub(super) fn run(runner: &Runner) -> Report {
         ("TAGE-36KB", DirectionConfig::Tage(TageConfig::kb36())),
         ("PerfectDir", DirectionConfig::Perfect),
     ];
-    let mut t = Table::new(
-        "Fig. 12 — FDP speedup over baseline (%) and MPKI, by direction predictor",
-        &["predictor", "PFC off %", "PFC on %", "MPKI off", "MPKI on"],
-    );
-    for (label, dir) in points {
-        let make = |pfc: bool| CoreConfig {
-            direction: dir,
-            ..CoreConfig::fdp().with_pfc(pfc)
-        };
-        let off = runner.run_config(&make(false));
-        let on = runner.run_config(&make(true));
-        let s_off = Runner::speedup_pct(&base, &off);
-        let s_on = Runner::speedup_pct(&base, &on);
-        t.row_f(
-            label,
-            &[s_off, s_on, Runner::mean_mpki(&off), Runner::mean_mpki(&on)],
-        );
-        report.metric(&format!("speedup_{label}_pfc_off"), s_off);
-        report.metric(&format!("speedup_{label}_pfc_on"), s_on);
+
+    // One batch: baseline + (PFC off, PFC on) per predictor + Perfect-All.
+    let mut cfgs = vec![baseline_cfg()];
+    for (_, dir) in &points {
+        for pfc in [false, true] {
+            cfgs.push(CoreConfig {
+                direction: *dir,
+                ..CoreConfig::fdp().with_pfc(pfc)
+            });
+        }
     }
     // Perfect All: perfect direction + perfect targets.
-    let perfect_all = CoreConfig {
+    cfgs.push(CoreConfig {
         direction: DirectionConfig::Perfect,
         perfect_btb: true,
         perfect_indirect: true,
         ..CoreConfig::fdp()
-    };
-    let s = Runner::speedup_pct(&base, &runner.run_config(&perfect_all));
+    });
+    let grid = runner.run_configs(&cfgs);
+    let base = &grid[0];
+
+    let mut t = Table::new(
+        "Fig. 12 — FDP speedup over baseline (%) and MPKI, by direction predictor",
+        &["predictor", "PFC off %", "PFC on %", "MPKI off", "MPKI on"],
+    );
+    for (i, (label, _)) in points.iter().enumerate() {
+        let off = &grid[1 + 2 * i];
+        let on = &grid[2 + 2 * i];
+        let s_off = Runner::speedup_pct(base, off);
+        let s_on = Runner::speedup_pct(base, on);
+        t.row_f(
+            label,
+            &[s_off, s_on, Runner::mean_mpki(off), Runner::mean_mpki(on)],
+        );
+        report.metric(&format!("speedup_{label}_pfc_off"), s_off);
+        report.metric(&format!("speedup_{label}_pfc_on"), s_on);
+    }
+    let s = Runner::speedup_pct(base, &grid[grid.len() - 1]);
     t.row_f("PerfectAll", &[f64::NAN, s, f64::NAN, 0.0]);
     report.metric("speedup_PerfectAll", s);
     report.tables.push(t);

@@ -1,32 +1,46 @@
 //! Fig. 13 — prediction bandwidth (B6/B12/B18/B18m) and BTB latency
 //! (1–4 cycles) sensitivity (§VI-F3).
 
-use super::baseline;
+use super::baseline_cfg;
 use crate::report::{Report, Table};
 use crate::runner::Runner;
 use fdip_sim::CoreConfig;
 
+const BWS: [(&str, usize, bool); 4] = [
+    ("B6", 6, false),
+    ("B12", 12, false),
+    ("B18", 18, false),
+    ("B18m", 18, true),
+];
+const BTB_LATENCIES: [u64; 4] = [1, 2, 3, 4];
+
 pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig13");
-    let base = baseline(runner);
+
+    // One batch: baseline + the bandwidth points + the latency points.
+    let mut cfgs = vec![baseline_cfg()];
+    for (_, bw, multi) in BWS {
+        cfgs.push(CoreConfig {
+            pred_bw: bw,
+            multi_taken: multi,
+            ..CoreConfig::fdp()
+        });
+    }
+    for lat in BTB_LATENCIES {
+        cfgs.push(CoreConfig {
+            btb_latency: lat,
+            ..CoreConfig::fdp()
+        });
+    }
+    let grid = runner.run_configs(&cfgs);
+    let base = &grid[0];
 
     let mut t = Table::new(
         "Fig. 13a — FDP speedup over baseline (%), by prediction bandwidth",
         &["bandwidth", "speedup %"],
     );
-    let bws: [(&str, usize, bool); 4] = [
-        ("B6", 6, false),
-        ("B12", 12, false),
-        ("B18", 18, false),
-        ("B18m", 18, true),
-    ];
-    for (label, bw, multi) in bws {
-        let cfg = CoreConfig {
-            pred_bw: bw,
-            multi_taken: multi,
-            ..CoreConfig::fdp()
-        };
-        let s = Runner::speedup_pct(&base, &runner.run_config(&cfg));
+    for (i, (label, _, _)) in BWS.iter().enumerate() {
+        let s = Runner::speedup_pct(base, &grid[1 + i]);
         t.row_f(label, &[s]);
         report.metric(&format!("speedup_{label}"), s);
     }
@@ -36,12 +50,8 @@ pub(super) fn run(runner: &Runner) -> Report {
         "Fig. 13b — FDP speedup over baseline (%), by BTB latency",
         &["BTB latency", "speedup %"],
     );
-    for lat in 1u64..=4 {
-        let cfg = CoreConfig {
-            btb_latency: lat,
-            ..CoreConfig::fdp()
-        };
-        let s = Runner::speedup_pct(&base, &runner.run_config(&cfg));
+    for (i, lat) in BTB_LATENCIES.into_iter().enumerate() {
+        let s = Runner::speedup_pct(base, &grid[1 + BWS.len() + i]);
         t2.row_f(&format!("{lat} cycle"), &[s]);
         report.metric(&format!("speedup_btblat{lat}"), s);
     }

@@ -5,11 +5,20 @@ use crate::report::{Report, Table};
 use crate::runner::Runner;
 use fdip_sim::CoreConfig;
 
+const FTQ_SIZES: [usize; 7] = [2, 4, 8, 12, 16, 24, 32];
+
 pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig14");
-    // Normalised to the 2-entry FTQ (== no FDP), as in the paper.
-    let base = runner.run_config(&CoreConfig::fdp().with_ftq(2));
-    let base_exposed: f64 = Runner::mean_of(&base, |s| (s.miss_partial + s.miss_full) as f64);
+
+    // One batch over all FTQ sizes; the 2-entry point (== no FDP) doubles
+    // as the normalisation base, as in the paper.
+    let cfgs: Vec<CoreConfig> = FTQ_SIZES
+        .iter()
+        .map(|&entries| CoreConfig::fdp().with_ftq(entries))
+        .collect();
+    let grid = runner.run_configs(&cfgs);
+    let base = &grid[0];
+    let base_exposed: f64 = Runner::mean_of(base, |s| (s.miss_partial + s.miss_full) as f64);
 
     let mut t = Table::new(
         "Fig. 14 — FTQ size sensitivity (speedup vs 2-entry FTQ; miss exposure)",
@@ -22,13 +31,13 @@ pub(super) fn run(runner: &Runner) -> Report {
             "exposed frac",
         ],
     );
-    for entries in [2usize, 4, 8, 12, 16, 24, 32] {
-        let stats = runner.run_config(&CoreConfig::fdp().with_ftq(entries));
-        let s = Runner::speedup_pct(&base, &stats);
-        let covered = Runner::mean_of(&stats, |s| s.miss_covered as f64);
-        let partial = Runner::mean_of(&stats, |s| s.miss_partial as f64);
-        let full = Runner::mean_of(&stats, |s| s.miss_full as f64);
-        let frac = Runner::mean_of(&stats, |s| s.exposed_fraction());
+    for (i, entries) in FTQ_SIZES.into_iter().enumerate() {
+        let stats = &grid[i];
+        let s = Runner::speedup_pct(base, stats);
+        let covered = Runner::mean_of(stats, |s| s.miss_covered as f64);
+        let partial = Runner::mean_of(stats, |s| s.miss_partial as f64);
+        let full = Runner::mean_of(stats, |s| s.miss_full as f64);
+        let frac = Runner::mean_of(stats, |s| s.exposed_fraction());
         t.row_f(&entries.to_string(), &[s, covered, partial, full, frac]);
         report.metric(&format!("speedup_ftq{entries}"), s);
         report.metric(&format!("exposed_frac_ftq{entries}"), frac);

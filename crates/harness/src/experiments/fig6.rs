@@ -2,7 +2,7 @@
 //! of each prefetcher with FDP off/on, plus perfect-BTB upper bounds;
 //! (b) per-workload EIP-128KB improvement against branch MPKI.
 
-use super::baseline;
+use super::baseline_cfg;
 use crate::report::{Report, Table};
 use crate::runner::Runner;
 use fdip_prefetch::PrefetcherKind;
@@ -10,7 +10,6 @@ use fdip_sim::CoreConfig;
 
 pub(super) fn run_a(runner: &Runner) -> Report {
     let mut report = Report::new("fig6a");
-    let base = baseline(runner);
 
     let prefetchers = [
         PrefetcherKind::None,
@@ -22,36 +21,39 @@ pub(super) fn run_a(runner: &Runner) -> Report {
         PrefetcherKind::Perfect,
     ];
 
+    // One batch: baseline, (no-FDP, FDP) per prefetcher, then the two
+    // perfect-BTB bounds.
+    let perfect_btb = CoreConfig {
+        perfect_btb: true,
+        ..CoreConfig::fdp()
+    };
+    let mut cfgs = vec![baseline_cfg()];
+    for pk in prefetchers {
+        cfgs.push(CoreConfig::no_fdp().with_prefetcher(pk));
+        cfgs.push(CoreConfig::fdp().with_prefetcher(pk));
+    }
+    cfgs.push(perfect_btb.clone());
+    cfgs.push(perfect_btb.with_prefetcher(PrefetcherKind::Perfect));
+    let grid = runner.run_configs(&cfgs);
+    let base = &grid[0];
+
     let mut t = Table::new(
         "Fig. 6a — speedup over baseline, %",
         &["config", "no FDP", "FDP"],
     );
-    for pk in prefetchers {
-        let s0 = Runner::speedup_pct(
-            &base,
-            &runner.run_config(&CoreConfig::no_fdp().with_prefetcher(pk)),
-        );
-        let s1 = Runner::speedup_pct(
-            &base,
-            &runner.run_config(&CoreConfig::fdp().with_prefetcher(pk)),
-        );
+    for (i, pk) in prefetchers.into_iter().enumerate() {
+        let s0 = Runner::speedup_pct(base, &grid[1 + 2 * i]);
+        let s1 = Runner::speedup_pct(base, &grid[2 + 2 * i]);
         t.row_f(pk.label(), &[s0, s1]);
         report.metric(&format!("{}_nofdp_pct", pk.label()), s0);
         report.metric(&format!("{}_fdp_pct", pk.label()), s1);
     }
 
     // Perfect-BTB bounds (§VI-A: +3.4% on FDP in the paper).
-    let perfect_btb = CoreConfig {
-        perfect_btb: true,
-        ..CoreConfig::fdp()
-    };
-    let s_btb = Runner::speedup_pct(&base, &runner.run_config(&perfect_btb));
+    let s_btb = Runner::speedup_pct(base, &grid[grid.len() - 2]);
     t.row_f("FDP+perfBTB", &[f64::NAN, s_btb]);
     report.metric("fdp_perfbtb_pct", s_btb);
-    let s_all = Runner::speedup_pct(
-        &base,
-        &runner.run_config(&perfect_btb.with_prefetcher(PrefetcherKind::Perfect)),
-    );
+    let s_all = Runner::speedup_pct(base, &grid[grid.len() - 1]);
     t.row_f("FDP+perfBTB+Perfect", &[f64::NAN, s_all]);
     report.metric("fdp_perfbtb_perfect_pct", s_all);
     report.tables.push(t);
@@ -60,11 +62,14 @@ pub(super) fn run_a(runner: &Runner) -> Report {
 
 pub(super) fn run_b(runner: &Runner) -> Report {
     let mut report = Report::new("fig6b");
-    let base_no_fdp = runner.run_config(&CoreConfig::no_fdp());
-    let eip_no_fdp =
-        runner.run_config(&CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Eip128));
-    let base_fdp = runner.run_config(&CoreConfig::fdp());
-    let eip_fdp = runner.run_config(&CoreConfig::fdp().with_prefetcher(PrefetcherKind::Eip128));
+    let cfgs = [
+        CoreConfig::no_fdp(),
+        CoreConfig::no_fdp().with_prefetcher(PrefetcherKind::Eip128),
+        CoreConfig::fdp(),
+        CoreConfig::fdp().with_prefetcher(PrefetcherKind::Eip128),
+    ];
+    let grid = runner.run_configs(&cfgs);
+    let (base_no_fdp, eip_no_fdp, base_fdp, eip_fdp) = (&grid[0], &grid[1], &grid[2], &grid[3]);
 
     let mut t = Table::new(
         "Fig. 6b — per-workload EIP-128KB improvement (%, vs same-frontend no-prefetch)",

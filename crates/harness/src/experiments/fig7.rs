@@ -1,13 +1,24 @@
 //! Fig. 7 — PFC effectiveness as the BTB shrinks from 32K to 1K entries.
 
-use super::baseline;
+use super::baseline_cfg;
 use crate::report::{Report, Table};
 use crate::runner::Runner;
 use fdip_sim::CoreConfig;
 
+const BTB_SIZES: [usize; 6] = [1024, 2048, 4096, 8192, 16384, 32768];
+
 pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig7");
-    let base = baseline(runner);
+
+    // One batch: baseline + (PFC off, PFC on) per BTB size.
+    let mut cfgs = vec![baseline_cfg()];
+    for entries in BTB_SIZES {
+        cfgs.push(CoreConfig::fdp().with_btb_entries(entries).with_pfc(false));
+        cfgs.push(CoreConfig::fdp().with_btb_entries(entries).with_pfc(true));
+    }
+    let grid = runner.run_configs(&cfgs);
+    let base = &grid[0];
+
     let mut t = Table::new(
         "Fig. 7 — FDP speedup over baseline (%) and branch MPKI, by BTB size",
         &[
@@ -18,13 +29,13 @@ pub(super) fn run(runner: &Runner) -> Report {
             "MPKI on",
         ],
     );
-    for entries in [1024usize, 2048, 4096, 8192, 16384, 32768] {
-        let off = runner.run_config(&CoreConfig::fdp().with_btb_entries(entries).with_pfc(false));
-        let on = runner.run_config(&CoreConfig::fdp().with_btb_entries(entries).with_pfc(true));
-        let s_off = Runner::speedup_pct(&base, &off);
-        let s_on = Runner::speedup_pct(&base, &on);
-        let m_off = Runner::mean_mpki(&off);
-        let m_on = Runner::mean_mpki(&on);
+    for (i, entries) in BTB_SIZES.into_iter().enumerate() {
+        let off = &grid[1 + 2 * i];
+        let on = &grid[2 + 2 * i];
+        let s_off = Runner::speedup_pct(base, off);
+        let s_on = Runner::speedup_pct(base, on);
+        let m_off = Runner::mean_mpki(off);
+        let m_on = Runner::mean_mpki(on);
         let label = format!("{}K", entries / 1024);
         t.row_f(&label, &[s_off, s_on, m_off, m_on]);
         report.metric(&format!("speedup_{label}_pfc_off"), s_off);

@@ -1,7 +1,7 @@
 //! Fig. 8 — branch history management: the Table V policies (THR, Ideal,
 //! GHR0–GHR3) with PFC off/on.
 
-use super::baseline;
+use super::baseline_cfg;
 use crate::report::{Report, Table};
 use crate::runner::Runner;
 use fdip_bpred::HistoryPolicy;
@@ -9,18 +9,27 @@ use fdip_sim::CoreConfig;
 
 pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig8");
-    let base = baseline(runner);
+
+    // One batch: baseline + (PFC off, PFC on) per Table V policy.
+    let mut cfgs = vec![baseline_cfg()];
+    for policy in HistoryPolicy::ALL {
+        cfgs.push(CoreConfig::fdp().with_policy(policy).with_pfc(false));
+        cfgs.push(CoreConfig::fdp().with_policy(policy).with_pfc(true));
+    }
+    let grid = runner.run_configs(&cfgs);
+    let base = &grid[0];
+
     let mut t = Table::new(
         "Fig. 8 — FDP speedup over baseline (%) and branch MPKI, by history policy",
         &["policy", "PFC off %", "PFC on %", "MPKI off", "MPKI on"],
     );
-    for policy in HistoryPolicy::ALL {
-        let off = runner.run_config(&CoreConfig::fdp().with_policy(policy).with_pfc(false));
-        let on = runner.run_config(&CoreConfig::fdp().with_policy(policy).with_pfc(true));
-        let s_off = Runner::speedup_pct(&base, &off);
-        let s_on = Runner::speedup_pct(&base, &on);
-        let m_off = Runner::mean_mpki(&off);
-        let m_on = Runner::mean_mpki(&on);
+    for (i, policy) in HistoryPolicy::ALL.into_iter().enumerate() {
+        let off = &grid[1 + 2 * i];
+        let on = &grid[2 + 2 * i];
+        let s_off = Runner::speedup_pct(base, off);
+        let s_on = Runner::speedup_pct(base, on);
+        let m_off = Runner::mean_mpki(off);
+        let m_on = Runner::mean_mpki(on);
         t.row_f(policy.label(), &[s_off, s_on, m_off, m_on]);
         report.metric(&format!("speedup_{}_pfc_off", policy.label()), s_off);
         report.metric(&format!("speedup_{}_pfc_on", policy.label()), s_on);
@@ -28,7 +37,7 @@ pub(super) fn run(runner: &Runner) -> Report {
         // Fixup-flush cost is the mechanism behind GHR2/GHR3's stalls.
         report.metric(
             &format!("fixups_per_ki_{}", policy.label()),
-            Runner::mean_of(&on, |s| {
+            Runner::mean_of(on, |s| {
                 1000.0 * s.fixup_flushes as f64 / s.retired.max(1) as f64
             }),
         );

@@ -1,7 +1,7 @@
 //! Fig. 9 — ISO-budget comparison: an 8K-entry BTB vs a 4K-entry BTB
 //! plus EIP-27KB (similar storage, §VI-D), on top of FDP.
 
-use super::baseline;
+use super::baseline_cfg;
 use crate::report::{Report, Table};
 use crate::runner::Runner;
 use fdip_prefetch::PrefetcherKind;
@@ -9,8 +9,7 @@ use fdip_sim::{CoreConfig, SimStats};
 
 pub(super) fn run(runner: &Runner) -> Report {
     let mut report = Report::new("fig9");
-    let base = baseline(runner);
-    let configs: [(&str, CoreConfig); 3] = [
+    let points: [(&str, CoreConfig); 3] = [
         ("8K-BTB", CoreConfig::fdp().with_btb_entries(8192)),
         (
             "4K-BTB+EIP-27KB",
@@ -20,6 +19,12 @@ pub(super) fn run(runner: &Runner) -> Report {
         ),
         ("4K-BTB", CoreConfig::fdp().with_btb_entries(4096)),
     ];
+    // One batch: baseline + the three budget points.
+    let mut cfgs = vec![baseline_cfg()];
+    cfgs.extend(points.iter().map(|(_, cfg)| cfg.clone()));
+    let grid = runner.run_configs(&cfgs);
+    let base = &grid[0];
+
     let mut t = Table::new(
         "Fig. 9 — ISO-budget comparison (on FDP)",
         &[
@@ -30,12 +35,12 @@ pub(super) fn run(runner: &Runner) -> Report {
             "I$ tag accesses/KI",
         ],
     );
-    for (label, cfg) in configs {
-        let stats = runner.run_config(&cfg);
-        let speedup = Runner::speedup_pct(&base, &stats);
-        let mpki = Runner::mean_mpki(&stats);
-        let starv = Runner::mean_of(&stats, SimStats::starvation_pki);
-        let tags = Runner::mean_of(&stats, SimStats::icache_tag_pki);
+    for (i, (label, _)) in points.iter().enumerate() {
+        let stats = &grid[1 + i];
+        let speedup = Runner::speedup_pct(base, stats);
+        let mpki = Runner::mean_mpki(stats);
+        let starv = Runner::mean_of(stats, SimStats::starvation_pki);
+        let tags = Runner::mean_of(stats, SimStats::icache_tag_pki);
         t.row_f(label, &[speedup, mpki, starv, tags]);
         let key = label.replace(['-', '+'], "_");
         report.metric(&format!("speedup_{key}"), speedup);

@@ -18,7 +18,7 @@ mod tables;
 
 use crate::report::Report;
 use crate::runner::Runner;
-use fdip_sim::{CoreConfig, SimStats};
+use fdip_sim::CoreConfig;
 
 /// A registered experiment.
 pub struct Experiment {
@@ -106,9 +106,14 @@ pub fn by_id(id: &str) -> Option<Experiment> {
     all().into_iter().find(|e| e.id == id)
 }
 
-/// The paper's reference baseline: no prefetching, no FDP.
-pub(crate) fn baseline(runner: &Runner) -> Vec<SimStats> {
-    runner.run_config(&CoreConfig::no_fdp())
+/// The paper's reference baseline configuration: no prefetching, no FDP.
+///
+/// Experiments put this first in their config grid and submit the whole
+/// grid as **one** pool batch ([`Runner::run_configs`]), so the baseline
+/// runs overlap with every sweep point instead of serializing ahead of
+/// them.
+pub(crate) fn baseline_cfg() -> CoreConfig {
+    CoreConfig::no_fdp()
 }
 
 #[cfg(test)]

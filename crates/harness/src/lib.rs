@@ -18,6 +18,9 @@
 //! * `FDIP_INSTRS`  — measured instructions per workload (default 200000)
 //! * `FDIP_WARMUP`  — warm-up instructions per workload (default 50000)
 //! * `FDIP_SUITE`   — `full` (10 workloads, default) or `quick` (3)
+//! * `FDIP_JOBS`    — worker-pool size for parallel sweeps (default:
+//!   available cores; `--jobs <n>` on the binaries overrides). Results
+//!   are identical for any value — only wall-clock changes.
 
 pub mod experiments;
 mod report;

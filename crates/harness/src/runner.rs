@@ -1,12 +1,22 @@
-//! Workload-suite runner: builds the synthetic programs once, runs a
-//! `CoreConfig` over every workload (in parallel), and aggregates the way
-//! the paper does (geometric-mean IPC speedups, arithmetic-mean MPKI).
+//! Workload-suite runner: builds the synthetic programs once, then runs
+//! `CoreConfig`s over every workload on the shared bounded job pool
+//! (`fdip-exec`) and aggregates the way the paper does (geometric-mean
+//! IPC speedups, arithmetic-mean MPKI).
+//!
+//! Every simulation goes through [`Runner::run_configs_detailed`]: the
+//! whole config × workload grid is flattened into **one** batch so
+//! distinct configs overlap on the pool, and results are collected into
+//! indexed slots — suite order, never completion order — which keeps
+//! sweeps deterministic for any `FDIP_JOBS` setting.
+
+use std::sync::Arc;
 
 use crate::suite::{SuiteResult, WorkloadResult};
+use fdip_exec::Pool;
 use fdip_program::workload::{self, Workload};
 use fdip_program::Program;
-use fdip_sim::{CoreConfig, SimDists, SimStats, Simulator};
-use fdip_telemetry::RunManifest;
+use fdip_sim::{run_workload_job, CoreConfig, SimDists, SimStats};
+use fdip_telemetry::{RunManifest, ToJson};
 
 /// Geometric mean of a slice of positive values.
 pub fn geomean(values: &[f64]) -> f64 {
@@ -19,10 +29,13 @@ pub fn geomean(values: &[f64]) -> f64 {
 
 /// The evaluation driver: a built workload suite plus run lengths.
 pub struct Runner {
-    workloads: Vec<(Workload, Program)>,
+    workloads: Vec<(Workload, Arc<Program>)>,
     warmup: u64,
     measure: u64,
     suite_name: String,
+    /// Private pool override; `None` uses the process-wide
+    /// [`fdip_exec::global`] pool (sized by `FDIP_JOBS`/`--jobs`).
+    pool: Option<Arc<Pool>>,
 }
 
 impl Runner {
@@ -31,7 +44,7 @@ impl Runner {
         let built = workloads
             .into_iter()
             .map(|w| {
-                let p = w.build();
+                let p = Arc::new(w.build());
                 (w, p)
             })
             .collect();
@@ -40,6 +53,7 @@ impl Runner {
             warmup,
             measure,
             suite_name: "custom".to_string(),
+            pool: None,
         }
     }
 
@@ -48,6 +62,19 @@ impl Runner {
     pub fn with_suite_name(mut self, name: &str) -> Self {
         self.suite_name = name.to_string();
         self
+    }
+
+    /// Routes this runner's simulations through a private pool instead of
+    /// the global one (tests pin the worker count this way).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool executing this runner's simulation jobs.
+    pub fn pool(&self) -> &Pool {
+        self.pool.as_deref().unwrap_or_else(|| fdip_exec::global())
     }
 
     /// Builds the default runner from the environment:
@@ -106,8 +133,8 @@ impl Runner {
         self.workloads.is_empty()
     }
 
-    /// Runs `cfg` over every workload (one thread per workload) and
-    /// returns per-workload statistics in suite order.
+    /// Runs `cfg` over every workload on the pool and returns
+    /// per-workload statistics in suite order.
     pub fn run_config(&self, cfg: &CoreConfig) -> Vec<SimStats> {
         self.run_config_detailed(cfg)
             .into_iter()
@@ -118,28 +145,42 @@ impl Runner {
     /// Like [`Runner::run_config`], but also returns each workload's
     /// distribution telemetry.
     pub fn run_config_detailed(&self, cfg: &CoreConfig) -> Vec<(SimStats, SimDists)> {
+        self.run_configs_detailed(std::slice::from_ref(cfg))
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Runs a whole config sweep: every `(config, workload)` pair becomes
+    /// one pool job, submitted as a single batch so the grid saturates
+    /// the pool. Returns one suite-ordered stats vector per config, in
+    /// `cfgs` order.
+    pub fn run_configs(&self, cfgs: &[CoreConfig]) -> Vec<Vec<SimStats>> {
+        self.run_configs_detailed(cfgs)
+            .into_iter()
+            .map(|per_cfg| per_cfg.into_iter().map(|(s, _)| s).collect())
+            .collect()
+    }
+
+    /// Like [`Runner::run_configs`], but with distribution telemetry.
+    pub fn run_configs_detailed(&self, cfgs: &[CoreConfig]) -> Vec<Vec<(SimStats, SimDists)>> {
         let (warmup, measure) = (self.warmup, self.measure);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .workloads
-                .iter()
-                .map(|(_, program)| {
-                    let cfg = cfg.clone();
-                    scope.spawn(move || {
-                        let mut sim = Simulator::new(cfg, program, 0xf0cc_ed);
-                        sim.run_detailed(warmup, measure)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sim thread"))
-                .collect()
-        })
+        let mut jobs = Vec::with_capacity(cfgs.len() * self.workloads.len());
+        for cfg in cfgs {
+            for (_, program) in &self.workloads {
+                let cfg = cfg.clone();
+                let program = Arc::clone(program);
+                jobs.push(move || run_workload_job(cfg, program, warmup, measure));
+            }
+        }
+        let mut flat = self.pool().run_batch(jobs).into_iter();
+        cfgs.iter()
+            .map(|_| (&mut flat).take(self.workloads.len()).collect())
+            .collect()
     }
 
     /// Runs `cfg` over the whole suite and packages the results (with a
-    /// stamped [`RunManifest`]) for JSON emission.
+    /// stamped [`RunManifest`], including pool telemetry) for JSON
+    /// emission.
     pub fn run_suite(&self, cfg: &CoreConfig, tool: &str) -> SuiteResult {
         let t0 = std::time::Instant::now();
         let results = self.run_config_detailed(cfg);
@@ -162,6 +203,7 @@ impl Runner {
             self.workloads.len(),
         );
         manifest.wall_seconds = t0.elapsed().as_secs_f64();
+        manifest.pool = Some(self.pool().stats().to_json());
         SuiteResult {
             manifest,
             workloads,
@@ -245,6 +287,41 @@ mod tests {
     }
 
     #[test]
+    fn config_sweep_matches_individual_runs() {
+        let r = Runner::quick(1_000, 5_000);
+        let cfgs = [CoreConfig::no_fdp(), CoreConfig::fdp()];
+        let grid = r.run_configs(&cfgs);
+        assert_eq!(grid.len(), 2);
+        // The flattened batch must land each (config, workload) result in
+        // its own slot, identical to running the configs one at a time.
+        assert_eq!(grid[0], r.run_config(&CoreConfig::no_fdp()));
+        assert_eq!(grid[1], r.run_config(&CoreConfig::fdp()));
+    }
+
+    #[test]
+    fn empty_sweep_returns_no_grids() {
+        let r = Runner::quick(1_000, 5_000);
+        assert!(r.run_configs(&[]).is_empty());
+    }
+
+    #[test]
+    fn runner_stays_within_its_pool_bound() {
+        // Regression for the old one-thread-per-workload Runner::run: the
+        // pool, not the workload count, bounds live simulation workers.
+        let pool = Arc::new(Pool::new(2));
+        let r = Runner::quick(500, 3_000).with_pool(Arc::clone(&pool));
+        let stats = r.run_config(&CoreConfig::fdp());
+        assert_eq!(stats.len(), 3);
+        let ps = pool.stats();
+        assert_eq!(ps.jobs_completed, 3);
+        assert!(
+            ps.peak_busy <= 2,
+            "peak busy workers {} exceeds the pool bound 2",
+            ps.peak_busy
+        );
+    }
+
+    #[test]
     fn run_suite_packages_manifest_and_workloads() {
         let r = Runner::quick(1_000, 5_000);
         let suite = r.run_suite(&CoreConfig::fdp(), "test-run");
@@ -257,6 +334,10 @@ mod tests {
             assert_eq!(w.dists.ftq_occupancy.count(), w.stats.cycles);
             assert!(w.dists.prefetch_lead_time.count() > 0);
         }
+        // Pool telemetry rides along in the manifest.
+        let pool = suite.manifest.pool.as_ref().expect("pool block");
+        assert!(pool.get("workers").is_some());
+        assert!(pool.get("jobs_completed").is_some());
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct RunManifest {
     pub generated_unix: u64,
     /// Wall-clock seconds the run took (filled in at emission time).
     pub wall_seconds: f64,
+    /// Job-pool telemetry for the run, already serialized (set by the
+    /// harness from `fdip_exec::PoolStats`; this crate stays ignorant of
+    /// the executor). Omitted from the JSON when `None`.
+    pub pool: Option<Json>,
 }
 
 impl RunManifest {
@@ -52,13 +56,14 @@ impl RunManifest {
             git_revision: git_describe(),
             generated_unix: unix_now(),
             wall_seconds: 0.0,
+            pool: None,
         }
     }
 }
 
 impl ToJson for RunManifest {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let mut j = Json::obj()
             .with("tool", self.tool.as_str())
             .with("suite", self.suite.as_str())
             .with("warmup_instrs", self.warmup_instrs)
@@ -66,7 +71,11 @@ impl ToJson for RunManifest {
             .with("workload_count", self.workload_count)
             .with("git_revision", self.git_revision.as_str())
             .with("generated_unix", self.generated_unix)
-            .with("wall_seconds", self.wall_seconds)
+            .with("wall_seconds", self.wall_seconds);
+        if let Some(pool) = &self.pool {
+            j.set("pool", pool.clone());
+        }
+        j
     }
 }
 
@@ -115,5 +124,19 @@ mod tests {
         assert_eq!(j.get("warmup_instrs").and_then(Json::as_u64), Some(50_000));
         let round = Json::parse(&j.to_string()).unwrap();
         assert_eq!(round.get("wall_seconds").and_then(Json::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn pool_block_is_emitted_only_when_present() {
+        let mut m = RunManifest::new("fdip-run", "quick", 1_000, 4_000, 3);
+        assert!(m.to_json().get("pool").is_none());
+        m.pool = Some(Json::obj().with("workers", 4u64));
+        let j = m.to_json();
+        assert_eq!(
+            j.get("pool")
+                .and_then(|p| p.get("workers"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
     }
 }

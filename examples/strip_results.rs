@@ -1,0 +1,43 @@
+//! Strip the volatile manifest fields from a harness JSON document so
+//! two runs can be compared byte-for-byte.
+//!
+//! `fdip-run --json` / `fdip-experiments --json` documents are fully
+//! deterministic except for four manifest fields: `wall_seconds`,
+//! `generated_unix`, `git_revision`, and the `pool` telemetry block
+//! (docs/METRICS.md). This example removes exactly those and prints the
+//! rest, which `scripts/verify.sh` uses to check that a 1-worker and a
+//! 2-worker run (`FDIP_JOBS`) produce identical results:
+//!
+//! ```text
+//! cargo run --example strip_results -- results.json > stripped.json
+//! ```
+
+use fdip_telemetry::Json;
+
+const VOLATILE_MANIFEST_KEYS: [&str; 4] =
+    ["wall_seconds", "generated_unix", "git_revision", "pool"];
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: strip_results <results.json>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    if let Json::Obj(fields) = &mut doc {
+        for (key, value) in fields.iter_mut() {
+            if key == "manifest" {
+                if let Json::Obj(manifest) = value {
+                    manifest.retain(|(k, _)| !VOLATILE_MANIFEST_KEYS.contains(&k.as_str()));
+                }
+            }
+        }
+    }
+    println!("{}", doc.to_string_pretty());
+}

@@ -14,6 +14,22 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> determinism smoke: FDIP_JOBS=1 vs FDIP_JOBS=2"
+# A quick-suite experiments run must produce byte-identical JSON for any
+# worker count once the volatile manifest fields are stripped
+# (docs/METRICS.md: wall_seconds, generated_unix, git_revision, pool).
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+for jobs in 1 2; do
+  FDIP_SUITE=quick FDIP_WARMUP=2000 FDIP_INSTRS=10000 FDIP_JOBS="$jobs" \
+    ./target/release/fdip-experiments --json "$tmp/j$jobs.json" fig7 fig9 \
+    > /dev/null
+  cargo run -q --release --offline --example strip_results -- \
+    "$tmp/j$jobs.json" > "$tmp/j$jobs.stripped.json"
+done
+diff -u "$tmp/j1.stripped.json" "$tmp/j2.stripped.json"
+echo "    identical results at 1 and 2 workers"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

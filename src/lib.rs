@@ -13,9 +13,11 @@
 //!   EIP, SN4L+Dis, perfect).
 //! * [`fdip_sim`] — the decoupled-frontend cycle-level simulator with FDP,
 //!   taken-only target history, and post-fetch correction.
+//! * [`fdip_exec`] — the bounded work-stealing job pool every sweep runs on.
 //! * [`fdip_harness`] — the per-table/per-figure experiment harness.
 
 pub use fdip_bpred as bpred;
+pub use fdip_exec as exec;
 pub use fdip_harness as harness;
 pub use fdip_mem as mem;
 pub use fdip_prefetch as prefetch;

@@ -1,0 +1,76 @@
+//! Worker-count determinism: the parallel sweep executor must produce
+//! bit-identical results for any `FDIP_JOBS` value, and identical
+//! `results.json` bytes once the volatile manifest fields (wall time,
+//! timestamp, revision, pool telemetry) are stripped.
+
+use fdip_exec::Pool;
+use fdip_harness::{Runner, SuiteResult};
+use fdip_sim::CoreConfig;
+use fdip_telemetry::{Json, ToJson};
+use std::sync::Arc;
+
+/// Manifest fields that legitimately vary between runs: wall-clock and
+/// provenance stamps, plus the pool telemetry block (timing-dependent).
+const VOLATILE_MANIFEST_KEYS: [&str; 4] =
+    ["wall_seconds", "generated_unix", "git_revision", "pool"];
+
+fn runner_with(threads: usize) -> Runner {
+    Runner::quick(2_000, 10_000).with_pool(Arc::new(Pool::new(threads)))
+}
+
+/// The results.json document with every volatile manifest field removed.
+fn stripped_json(suite: &SuiteResult) -> String {
+    let mut doc = suite.to_json();
+    if let Json::Obj(fields) = &mut doc {
+        for (key, value) in fields.iter_mut() {
+            if key == "manifest" {
+                if let Json::Obj(manifest) = value {
+                    manifest.retain(|(k, _)| !VOLATILE_MANIFEST_KEYS.contains(&k.as_str()));
+                }
+            }
+        }
+    }
+    doc.to_string_pretty()
+}
+
+/// A one-worker pool and an eight-worker pool must agree on every stat
+/// and distribution of a multi-config sweep, in the same order.
+#[test]
+fn serial_and_parallel_sweeps_agree() {
+    let cfgs = [
+        CoreConfig::no_fdp(),
+        CoreConfig::fdp(),
+        CoreConfig::fdp().with_btb_entries(2048),
+    ];
+    let serial = runner_with(1).run_configs_detailed(&cfgs);
+    let parallel = runner_with(8).run_configs_detailed(&cfgs);
+    assert_eq!(serial, parallel);
+}
+
+/// The full suite document — workload names, stats, dists, aggregates —
+/// is byte-identical across worker counts after stripping the volatile
+/// manifest fields.
+#[test]
+fn results_json_is_byte_stable_across_worker_counts() {
+    let cfg = CoreConfig::fdp();
+    let serial = runner_with(1).run_suite(&cfg, "determinism-test");
+    let parallel = runner_with(8).run_suite(&cfg, "determinism-test");
+
+    for (a, b) in serial.workloads.iter().zip(&parallel.workloads) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.family, b.family);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.dists, b.dists);
+    }
+    assert_eq!(stripped_json(&serial), stripped_json(&parallel));
+}
+
+/// Two runs at the same (racy) worker count are also identical — the
+/// schedule may differ, the results may not.
+#[test]
+fn repeated_parallel_runs_are_identical() {
+    let cfg = CoreConfig::fdp();
+    let first = runner_with(8).run_suite(&cfg, "determinism-test");
+    let second = runner_with(8).run_suite(&cfg, "determinism-test");
+    assert_eq!(stripped_json(&first), stripped_json(&second));
+}

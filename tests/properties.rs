@@ -2,8 +2,10 @@
 //! exercised through the public API of the workspace crates.
 
 use fdip_bpred::{Btb, BtbConfig, FoldPlan, GlobalHistory, Ras};
+use fdip_harness::geomean;
 use fdip_mem::{Cache, CacheConfig, Lookup};
 use fdip_program::{ExecutionEngine, ProgramBuilder, ProgramParams};
+use fdip_sim::{Ftq, FtqEntry};
 use fdip_types::{Addr, BranchKind};
 use proptest::prelude::*;
 
@@ -144,6 +146,81 @@ proptest! {
     #[test]
     fn ftq_overhead_scales_linearly(entries in 1usize..512) {
         prop_assert_eq!(fdip_sim::ftq_overhead_bytes(entries), entries * 65 / 8);
+    }
+
+    /// A fold to `out` bits always fits in `out` bits, for any history
+    /// content and any registered window.
+    #[test]
+    fn fold_width_is_bounded(
+        pushes in prop::collection::vec((any::<u64>(), 1u32..3), 0..200),
+        len in 1u32..512,
+        out in 1u32..32,
+    ) {
+        let mut h = GlobalHistory::new();
+        for (inject, k) in pushes {
+            h.push_bits(inject, k);
+        }
+        prop_assert!(h.fold(len, out) < 1u64 << out);
+    }
+
+    /// FTQ occupancy never exceeds capacity under arbitrary sequences of
+    /// gated pushes, head pops and (partial) flushes, and `free`/`len`/
+    /// `is_empty` stay mutually consistent.
+    #[test]
+    fn ftq_occupancy_is_bounded(
+        capacity in 1usize..33,
+        ops in prop::collection::vec((0u8..4, 0usize..8), 1..300),
+    ) {
+        let mut ftq = Ftq::new(capacity);
+        for (op, arg) in ops {
+            match op {
+                // Pushes are gated on free(), as the frontend gates.
+                0 | 1 => {
+                    if ftq.free() > 0 {
+                        ftq.push(FtqEntry::new(Addr::new(0x4000), arg));
+                    }
+                }
+                2 => {
+                    ftq.pop_head();
+                }
+                _ => {
+                    if ftq.is_empty() || arg % 2 == 0 {
+                        ftq.flush_all();
+                        prop_assert!(ftq.is_empty());
+                    } else {
+                        let idx = arg % ftq.len();
+                        ftq.flush_younger_than(idx);
+                        prop_assert!(ftq.len() <= idx + 1);
+                    }
+                }
+            }
+            prop_assert!(ftq.len() <= ftq.capacity());
+            prop_assert_eq!(ftq.free(), ftq.capacity() - ftq.len());
+            prop_assert_eq!(ftq.is_empty(), ftq.len() == 0);
+        }
+    }
+
+    /// The suite geomean is order-free (any permutation reachable by
+    /// reversal/rotation gives the same value) and sits between the
+    /// smallest and largest input.
+    #[test]
+    fn geomean_is_order_free_and_bounded(
+        raw in prop::collection::vec(1u64..10_000, 1..24),
+        rot in 0usize..24,
+    ) {
+        let vals: Vec<f64> = raw.iter().map(|&v| v as f64 / 100.0).collect();
+        let g = geomean(&vals);
+        let mut rev = vals.clone();
+        rev.reverse();
+        let mut rotated = vals.clone();
+        rotated.rotate_left(rot % vals.len());
+        let close = |a: f64, b: f64| ((a - b) / b).abs() < 1e-9;
+        prop_assert!(close(geomean(&rev), g));
+        prop_assert!(close(geomean(&rotated), g));
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * (1.0 - 1e-9));
+        prop_assert!(g <= max * (1.0 + 1e-9));
     }
 }
 
