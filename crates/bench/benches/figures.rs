@@ -27,7 +27,7 @@ fn bench_configs(c: &mut Criterion, group: &str, configs: &[(&str, CoreConfig)])
     let mut g = c.benchmark_group(group);
     g.sample_size(10);
     for (name, cfg) in configs {
-        g.bench_function(*name, |b| {
+        g.bench_function(name, |b| {
             b.iter(|| run_workload(cfg, server(), WARMUP, MEASURE));
         });
     }

@@ -40,7 +40,7 @@ fn ablation(c: &mut Criterion) {
         }),
     ];
     for (name, cfg) in &cases {
-        g.bench_function(*name, |b| {
+        g.bench_function(name, |b| {
             b.iter(|| run_workload(cfg, server(), WARMUP, MEASURE));
         });
     }

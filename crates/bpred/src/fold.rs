@@ -30,10 +30,32 @@ pub struct FoldSpec {
     pub out: u32,
 }
 
+/// Maximum history-shift width (`k`) a push supports. Direction pushes
+/// shift by 1 bit, target-hash pushes by 2; the per-spec leave-bit
+/// constants are precomputed for both widths.
+const MAX_PUSH_K: usize = 2;
+
+/// Precomputed per-spec constants so the hot [`FoldPlan::push`] loop is
+/// branchless and division-free: the `% out` destination shift of every
+/// bit that leaves a fold's window is resolved at registration time.
+#[derive(Copy, Clone, Debug)]
+struct FoldPre {
+    out: u32,
+    mask: u32,
+    /// History position of leaving bit `j` for a push of width `k`:
+    /// `leave_pos[k-1][j] = len - k + j`.
+    leave_pos: [[u32; MAX_PUSH_K]; MAX_PUSH_K],
+    /// Matching destination shift inside the fold: `(len - k + j) % out`.
+    leave_dst: [[u32; MAX_PUSH_K]; MAX_PUSH_K],
+    /// Injection window: `min(len, 64)` low bits of the pushed value.
+    inj_mask: u64,
+}
+
 /// The set of folds a frontend maintains (immutable after setup).
 #[derive(Clone, Debug, Default)]
 pub struct FoldPlan {
     specs: Vec<FoldSpec>,
+    pre: Vec<FoldPre>,
 }
 
 /// Current values of every fold in a [`FoldPlan`].
@@ -82,6 +104,29 @@ impl FoldPlan {
         assert!(len >= 1 && (len as usize) <= crate::history::HISTORY_BITS);
         assert!((1..=31).contains(&out));
         self.specs.push(FoldSpec { len, out });
+        let mut leave_pos = [[0u32; MAX_PUSH_K]; MAX_PUSH_K];
+        let mut leave_dst = [[0u32; MAX_PUSH_K]; MAX_PUSH_K];
+        for k in 1..=MAX_PUSH_K as u32 {
+            for j in 0..k {
+                // Pushing k bits means history positions len-k..len-1
+                // leave the window (saturated: a width-k push on a
+                // shorter fold is never issued).
+                let pos = len.saturating_sub(k) + j;
+                leave_pos[(k - 1) as usize][j as usize] = pos;
+                leave_dst[(k - 1) as usize][j as usize] = pos % out;
+            }
+        }
+        self.pre.push(FoldPre {
+            out,
+            mask: (1u32 << out) - 1,
+            leave_pos,
+            leave_dst,
+            inj_mask: if len < 64 {
+                (1u64 << len) - 1
+            } else {
+                u64::MAX
+            },
+        });
         self.specs.len() - 1
     }
 
@@ -112,34 +157,46 @@ impl FoldPlan {
     /// history shifts left by `k` bits and `inject` is XOR-ed into the low
     /// bits (inject may be wider than `k`).
     pub fn push(&self, folds: &mut FoldedHistories, before: &GlobalHistory, inject: u64, k: u32) {
+        debug_assert!((1..=MAX_PUSH_K as u32).contains(&k));
+        match k {
+            1 => self.push_k::<1>(folds, before, inject),
+            _ => self.push_k::<2>(folds, before, inject),
+        }
+    }
+
+    /// Width-monomorphized push body: with `K` fixed the second
+    /// leave-bit patch and the rotate compile down to their minimal
+    /// forms.
+    fn push_k<const K: u32>(
+        &self,
+        folds: &mut FoldedHistories,
+        before: &GlobalHistory,
+        inject: u64,
+    ) {
         debug_assert_eq!(folds.n, self.specs.len());
-        for (slot, spec) in self.specs.iter().enumerate() {
-            let out = spec.out;
-            let mask = (1u32 << out) - 1;
+        let ki = (K - 1) as usize;
+        for (slot, pre) in self.pre.iter().enumerate() {
             let mut v = folds.vals[slot];
             // Remove the bits that will leave the window: positions
-            // len-k .. len-1 move to >= len after the shift.
-            for j in 0..k {
-                let pos = spec.len - k + j;
-                if before.bit(pos) {
-                    v ^= 1 << (pos % out);
-                }
+            // len-K .. len-1 move to >= len after the shift. Positions
+            // and `% out` destinations are precomputed per spec, and the
+            // XOR is branchless (bit is 0 or 1).
+            v ^= (before.bit(pre.leave_pos[ki][0]) as u32) << pre.leave_dst[ki][0];
+            if K == 2 {
+                v ^= (before.bit(pre.leave_pos[ki][1]) as u32) << pre.leave_dst[ki][1];
             }
-            // Rotate left by k within `out` bits (history positions all
-            // grow by k).
-            v = ((v << k) | (v >> (out - k))) & mask;
+            // Rotate left by K within `out` bits (history positions all
+            // grow by K).
+            v = ((v << K) | (v >> (pre.out - K))) & pre.mask;
             // XOR in the injected value, itself chunk-folded to `out`
             // bits (it lands at history positions 0..width). Bits of the
             // injection beyond this fold's window length are older than
-            // the window and never contribute.
-            let mut inj = if spec.len < 64 {
-                inject & ((1u64 << spec.len) - 1)
-            } else {
-                inject
-            };
+            // the window and never contribute. The simulator's pushes
+            // inject at most 16 bits, so the loop runs 1–2 iterations.
+            let mut inj = inject & pre.inj_mask;
             while inj != 0 {
-                v ^= (inj as u32) & mask;
-                inj >>= out;
+                v ^= (inj as u32) & pre.mask;
+                inj >>= pre.out;
             }
             folds.vals[slot] = v;
         }

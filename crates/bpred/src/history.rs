@@ -68,7 +68,7 @@ impl GlobalHistory {
     /// Shifts the register left by `n` bits and XORs `value` into the low
     /// bits (the generic primitive behind both update styles).
     pub fn push_bits(&mut self, value: u64, n: u32) {
-        debug_assert!(n >= 1 && n < 64);
+        debug_assert!((1..64).contains(&n));
         let mut carry = 0u64;
         for w in self.words.iter_mut() {
             let new_carry = *w >> (64 - n);
@@ -107,7 +107,7 @@ impl GlobalHistory {
     /// Panics (debug) if `len > HISTORY_BITS` or `out_bits` is 0 or > 63.
     pub fn fold(&self, len: u32, out_bits: u32) -> u64 {
         debug_assert!(len as usize <= HISTORY_BITS);
-        debug_assert!(out_bits >= 1 && out_bits < 64);
+        debug_assert!((1..64).contains(&out_bits));
         let mask = (1u64 << out_bits) - 1;
         let mut acc = 0u64;
         let mut taken = 0u32; // bits consumed so far
@@ -247,8 +247,8 @@ mod tests {
         // 4 bits folded into 2-bit chunks: 0b11 ^ 0b11 = 0.
         assert_eq!(h.fold(4, 2), 0);
         h.push_direction(false); // history 01111
-                                 // 5 bits = chunks [11, 11, 0] -> 0 ^ 0b0 = 0... then one leftover bit 0.
-        assert_eq!(h.fold(5, 2), 0b11 ^ 0b11 ^ 0b0);
+                                 // 5 bits = chunks [11, 11, 0]; the leftover 0 bit adds nothing.
+        assert_eq!(h.fold(5, 2), 0b11 ^ 0b11);
     }
 
     #[test]

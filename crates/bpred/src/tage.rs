@@ -94,7 +94,7 @@ struct TageEntry {
 }
 
 /// What a TAGE lookup produced; passed back at update time.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub struct TagePrediction {
     /// Final predicted direction.
     pub taken: bool,
@@ -104,17 +104,6 @@ pub struct TagePrediction {
     pub alt_taken: bool,
     /// Provider counter was weak (newly allocated).
     pub provider_weak: bool,
-}
-
-impl Default for TagePrediction {
-    fn default() -> Self {
-        TagePrediction {
-            taken: false,
-            provider: None,
-            alt_taken: false,
-            provider_weak: false,
-        }
-    }
 }
 
 /// The TAGE predictor.
@@ -337,7 +326,7 @@ impl Tage {
 
         // Periodic usefulness aging.
         self.tick = self.tick.wrapping_add(1);
-        if self.tick % (1 << 18) == 0 {
+        if self.tick.is_multiple_of(1 << 18) {
             for t in &mut self.tables {
                 for e in t.iter_mut() {
                     e.u >>= 1;

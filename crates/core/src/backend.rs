@@ -3,7 +3,7 @@
 //! generator for the load/store stream.
 
 use crate::ftq::SlotBranch;
-use fdip_types::{Addr, BranchKind, Cycle, InstrKind};
+use fdip_types::{Addr, BranchKind, Cycle};
 
 /// An instruction travelling from fetch to dispatch (the decode queue).
 #[derive(Clone, Debug)]
@@ -12,8 +12,8 @@ pub struct FetchedInstr {
     pub id: u64,
     /// Program counter.
     pub pc: Addr,
-    /// Pre-decoded kind (from the code image).
-    pub kind: InstrKind,
+    /// Pre-decoded dense kind tag (see [`crate::meta`]).
+    pub tag: u8,
     /// Committed-path sequence number, if on the correct path.
     pub seq: Option<u64>,
     /// Branch speculation record (actual branches only).

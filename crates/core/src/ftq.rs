@@ -39,7 +39,7 @@ pub struct SlotBranch {
     /// Actual branch kind (from pre-decode / the code image).
     pub kind: BranchKind,
     /// History/RAS state *before* this branch's speculative effects.
-    pub ckpt: Box<HistState>,
+    pub ckpt: HistState,
     /// TAGE metadata from prediction time.
     pub tage_pred: TagePrediction,
     /// ITTAGE metadata from prediction time (indirect branches).
@@ -92,8 +92,11 @@ pub struct FtqEntry {
     /// Number of leading slots (from `start`) that matched the committed
     /// path at prediction time.
     pub matched: usize,
-    /// Speculation records for the actual branches in this entry.
-    pub branches: Vec<SlotBranch>,
+    /// Speculation records for the actual branches in this entry. Each
+    /// record is boxed once at prediction time and travels by pointer
+    /// through fetch, dispatch, and resolution without being re-copied
+    /// (the checkpoint inside is several hundred bytes).
+    pub branches: Vec<Box<SlotBranch>>,
     /// Fill-pipeline state.
     pub fill: FillState,
     /// Next slot offset to fetch (starts at `start.ftq_offset()`).
@@ -130,6 +133,12 @@ impl FtqEntry {
     /// Number of instructions covered.
     pub fn len(&self) -> usize {
         self.end_offset - self.start_offset() + 1
+    }
+
+    /// Always `false`: an entry covers at least its starting slot.
+    /// (Provided alongside [`FtqEntry::len`] for convention's sake.)
+    pub fn is_empty(&self) -> bool {
+        false
     }
 
     /// Returns `true` when the entry covers no unfetched instructions.

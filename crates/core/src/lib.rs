@@ -33,8 +33,10 @@ pub mod config;
 pub mod dists;
 pub mod ftq;
 pub mod hist;
+pub mod meta;
 pub mod oracle;
 pub mod predictors;
+pub mod probe;
 pub mod sim;
 pub mod stats;
 
@@ -42,5 +44,7 @@ pub use config::{BackendConfig, CoreConfig, DirectionConfig};
 pub use dists::SimDists;
 pub use ftq::{ftq_overhead_bytes, FillState, Ftq, FtqEntry, SlotBranch};
 pub use hist::HistState;
+pub use meta::StaticMeta;
+pub use probe::ProbeTable;
 pub use sim::{run_workload, run_workload_detailed, run_workload_job, Simulator};
 pub use stats::SimStats;

@@ -4,10 +4,22 @@
 //! The frontend consults it to tag predicted slots as on/off the correct
 //! path, execute-time resolution reads actual branch outcomes from it,
 //! and the retire stage releases consumed entries.
+//!
+//! The window is a power-of-two ring buffer: the slot of sequence `s` is
+//! always `s & mask`, so lookups are one mask away from the backing
+//! array, release is O(1) bookkeeping, and the buffer only grows
+//! (doubling) on the rare occasion in-flight work exceeds its capacity.
 
 use fdip_program::ExecutionEngine;
-use fdip_types::DynInstr;
-use std::collections::VecDeque;
+use fdip_types::{Addr, DynInstr, InstrKind};
+
+/// Filler for never-read ring slots.
+const DUMMY: DynInstr = DynInstr {
+    pc: Addr::NULL,
+    kind: InstrKind::Op(fdip_types::OpClass::Alu),
+    taken: false,
+    next_pc: Addr::NULL,
+};
 
 /// Sliding window over the committed instruction stream.
 ///
@@ -27,19 +39,40 @@ use std::collections::VecDeque;
 #[derive(Debug)]
 pub struct Oracle<'p> {
     engine: ExecutionEngine<'p>,
-    window: VecDeque<DynInstr>,
-    /// Sequence number of `window[0]`.
+    /// Ring storage; capacity is a power of two.
+    buf: Vec<DynInstr>,
+    mask: u64,
+    /// Sequence number of the oldest retained instruction.
     base: u64,
+    /// Retained instructions: sequences `base .. base + len`.
+    len: u64,
 }
 
 impl<'p> Oracle<'p> {
     /// Wraps an execution engine positioned at its entry point.
     pub fn new(engine: ExecutionEngine<'p>) -> Self {
+        let cap = 4096usize;
         Oracle {
             engine,
-            window: VecDeque::with_capacity(4096),
+            buf: vec![DUMMY; cap],
+            mask: cap as u64 - 1,
             base: 0,
+            len: 0,
         }
+    }
+
+    /// Doubles the ring, re-homing every retained instruction to its
+    /// slot under the new mask.
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = self.buf.len() * 2;
+        let new_mask = new_cap as u64 - 1;
+        let mut new_buf = vec![DUMMY; new_cap];
+        for seq in self.base..self.base + self.len {
+            new_buf[(seq & new_mask) as usize] = self.buf[(seq & self.mask) as usize];
+        }
+        self.buf = new_buf;
+        self.mask = new_mask;
     }
 
     /// The committed instruction with sequence number `seq`, generating
@@ -48,27 +81,43 @@ impl<'p> Oracle<'p> {
     /// # Panics
     ///
     /// Panics if `seq` was already released.
+    #[inline]
     pub fn get(&mut self, seq: u64) -> &DynInstr {
         assert!(seq >= self.base, "sequence {seq} already released");
-        while self.base + self.window.len() as u64 <= seq {
-            let d = self.engine.step();
-            self.window.push_back(d);
+        if self.base + self.len <= seq {
+            self.generate_to(seq);
         }
-        &self.window[(seq - self.base) as usize]
+        &self.buf[(seq & self.mask) as usize]
+    }
+
+    /// Runs the engine until `seq` is in the window. Out of line so the
+    /// common already-generated case inlines to a compare and a load.
+    #[inline(never)]
+    fn generate_to(&mut self, seq: u64) {
+        while self.base + self.len <= seq {
+            if self.len > self.mask {
+                self.grow();
+            }
+            let i = ((self.base + self.len) & self.mask) as usize;
+            self.buf[i] = self.engine.step();
+            self.len += 1;
+        }
     }
 
     /// Releases all instructions with sequence numbers below `seq`
     /// (called as instructions retire).
+    #[inline]
     pub fn release_below(&mut self, seq: u64) {
-        while self.base < seq && !self.window.is_empty() {
-            self.window.pop_front();
-            self.base += 1;
+        if seq > self.base {
+            let n = (seq - self.base).min(self.len);
+            self.base += n;
+            self.len -= n;
         }
     }
 
     /// Current window size (bounded by in-flight work).
     pub fn window_len(&self) -> usize {
-        self.window.len()
+        self.len as usize
     }
 }
 
@@ -117,5 +166,35 @@ mod tests {
         o.get(10);
         o.release_below(5);
         o.get(3);
+    }
+
+    #[test]
+    fn window_grows_past_initial_capacity_without_losing_entries() {
+        let p = ProgramBuilder::new(params()).build("p");
+        let mut o = Oracle::new(ExecutionEngine::new(&p, 7));
+        // Hold everything (no release) well past the 4096 initial ring.
+        let last = 10_000u64;
+        let d0 = *o.get(0);
+        o.get(last);
+        assert_eq!(o.window_len() as u64, last + 1);
+        // Old and new entries both intact, stream still contiguous.
+        assert_eq!(*o.get(0), d0);
+        for seq in [1u64, 4095, 4096, 4097, 9_999] {
+            let next_pc = o.get(seq).next_pc;
+            assert_eq!(next_pc, o.get(seq + 1).pc, "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn release_beyond_generated_is_clamped() {
+        let p = ProgramBuilder::new(params()).build("p");
+        let mut o = Oracle::new(ExecutionEngine::new(&p, 7));
+        o.get(10);
+        o.release_below(1_000);
+        // Only the 11 generated instructions could be released.
+        assert_eq!(o.window_len(), 0);
+        // The stream continues from where generation stopped.
+        o.get(11);
+        assert_eq!(o.window_len(), 1);
     }
 }

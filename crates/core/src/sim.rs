@@ -16,20 +16,27 @@ use crate::config::CoreConfig;
 use crate::dists::SimDists;
 use crate::ftq::{FillState, Ftq, FtqEntry, SlotBranch};
 use crate::hist::HistState;
+use crate::meta::{self, StaticMeta};
 use crate::oracle::Oracle;
 use crate::predictors::Predictors;
+use crate::probe::ProbeTable;
 use crate::stats::SimStats;
 use fdip_bpred::{IttagePrediction, TagePrediction};
 use fdip_mem::Hierarchy;
 use fdip_prefetch::Prefetcher;
 use fdip_program::{ExecutionEngine, Program};
-use fdip_types::{Addr, Cycle, InstrKind, OpClass};
+use fdip_types::{Addr, Cycle};
 use std::collections::VecDeque;
+
+/// Slots in the prefetch re-issue (churn) filter — its hard memory cap.
+const REISSUE_FILTER_SLOTS: usize = 4096;
+
+/// Cycles a prefetched line stays suppressed in the re-issue filter.
+const REISSUE_WINDOW: Cycle = 768;
 
 /// The assembled core simulator for one workload.
 pub struct Simulator<'p> {
     cfg: CoreConfig,
-    program: &'p Program,
     oracle: Oracle<'p>,
     preds: Predictors,
     mem: Hierarchy,
@@ -48,15 +55,20 @@ pub struct Simulator<'p> {
     now: Cycle,
     next_id: u64,
     data_gen: DataAddressGen,
-    /// Per image slot: does an idealized ("perfect") BTB hold this
-    /// branch? Real BTBs only ever allocate branches that are taken at
-    /// least once, so never-taken conditionals stay undetectable even
-    /// under a perfect BTB (§VI-A).
-    perfect_btb_has: Vec<bool>,
+    /// Flat static-instruction metadata (the hot-path view of the code
+    /// image and behaviour models).
+    meta: StaticMeta,
+    /// Per image slot, one bit: does an idealized ("perfect") BTB hold
+    /// this branch? Real BTBs only ever allocate branches that are taken
+    /// at least once, so never-taken conditionals stay undetectable even
+    /// under a perfect BTB (§VI-A). Derived lazily from [`StaticMeta`];
+    /// empty (no allocation) unless `cfg.perfect_btb`.
+    perfect_btb_bits: Vec<u64>,
     pf_queue: VecDeque<u64>,
     pf_scratch: Vec<u64>,
     /// Recently-issued prefetch lines -> issue cycle (churn filter).
-    pf_recent: std::collections::HashMap<u64, Cycle>,
+    /// Only prefetchers with a re-issue filter allocate one.
+    pf_recent: Option<ProbeTable>,
     stats: SimStats,
     dists: SimDists,
 }
@@ -75,6 +87,7 @@ impl<'p> Simulator<'p> {
         let base_line = program.image().base().line_number();
         let end_line = (program.image().base() + program.image().footprint_bytes()).line_number();
         mem.prewarm_llc_instr(base_line..=end_line);
+        let meta = StaticMeta::new(program);
         let mut preds = preds;
         // Functional warm-up: replay the committed stream architecturally
         // and train the BTB, as ChampSim's long warm-up does.
@@ -86,36 +99,26 @@ impl<'p> Simulator<'p> {
                     if d.taken {
                         preds.btb.insert(d.pc, kind, d.next_pc);
                     } else if cfg.policy.allocate_not_taken() {
-                        if let Some(t) = program.image().instr_at(d.pc).kind.static_target() {
+                        if let Some(t) = meta.static_target_at(d.pc) {
                             preds.btb.insert(d.pc, kind, t);
                         }
                     }
                 }
             }
         }
-        let perfect_btb_has = if cfg.perfect_btb {
-            (0..program.image().len())
-                .map(|i| {
-                    let addr = program.image().addr_of(i);
-                    match program.image().instr_at(addr).kind.branch_kind() {
-                        None => false,
-                        Some(k) if k.is_unconditional() => true,
-                        Some(_) => match program.behavior_at(addr) {
-                            Some(fdip_program::BranchBehavior::Bias { p_taken }) => {
-                                *p_taken >= 0.02
-                            }
-                            _ => true,
-                        },
-                    }
-                })
-                .collect()
+        let perfect_btb_bits = if cfg.perfect_btb {
+            meta.perfect_btb_bits()
         } else {
             Vec::new()
         };
+        let prefetcher = cfg.prefetcher.build();
+        let pf_recent = prefetcher
+            .has_reissue_filter()
+            .then(|| ProbeTable::new(REISSUE_FILTER_SLOTS));
         Simulator {
             oracle: Oracle::new(ExecutionEngine::new(program, seed)),
             mem,
-            prefetcher: cfg.prefetcher.build(),
+            prefetcher,
             ftq: Ftq::new(cfg.ftq_entries),
             dq: VecDeque::with_capacity(backend.decode_queue),
             rob: VecDeque::with_capacity(backend.rob_size),
@@ -136,12 +139,12 @@ impl<'p> Simulator<'p> {
             ),
             pf_queue: VecDeque::new(),
             pf_scratch: Vec::new(),
-            pf_recent: std::collections::HashMap::new(),
+            pf_recent,
             stats: SimStats::default(),
             dists: SimDists::new(),
-            perfect_btb_has,
+            meta,
+            perfect_btb_bits,
             preds,
-            program,
             cfg,
         }
     }
@@ -149,6 +152,14 @@ impl<'p> Simulator<'p> {
     /// The configuration in use.
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
+    }
+
+    /// Words allocated for the perfect-BTB lookup bitset — `0` unless
+    /// the configuration enables `perfect_btb` (the lookup is derived
+    /// lazily from [`StaticMeta`], so ordinary configurations pay
+    /// nothing for it).
+    pub fn perfect_btb_table_words(&self) -> usize {
+        self.perfect_btb_bits.capacity()
     }
 
     /// Current cycle.
@@ -299,7 +310,7 @@ impl<'p> Simulator<'p> {
         if actual_taken {
             self.preds.btb.insert(u.pc, u.kind, actual_next);
         } else if self.cfg.policy.allocate_not_taken() {
-            if let Some(t) = self.program.image().instr_at(u.pc).kind.static_target() {
+            if let Some(t) = self.meta.static_target_at(u.pc) {
                 self.preds.btb.insert(u.pc, u.kind, t);
             }
         }
@@ -314,7 +325,7 @@ impl<'p> Simulator<'p> {
         self.dq.clear();
         self.ftq.flush_all();
 
-        let mut h = *u.rec.ckpt;
+        let mut h = u.rec.ckpt;
         h.record_branch(
             &self.preds.plan,
             self.cfg.policy,
@@ -367,12 +378,12 @@ impl<'p> Simulator<'p> {
     }
 
     fn exec_latency(&mut self, fi: &FetchedInstr) -> u64 {
-        match fi.kind {
-            InstrKind::Op(OpClass::Mul) => 3,
-            InstrKind::Op(OpClass::Fp) => 4,
-            InstrKind::Op(OpClass::Load) => {
+        match fi.tag {
+            meta::TAG_MUL => 3,
+            meta::TAG_FP => 4,
+            meta::TAG_LOAD => {
                 if fi.seq.is_some() {
-                    if let Some(idx) = self.program.image().index_of(fi.pc) {
+                    if let Some(idx) = self.meta.slot_of(fi.pc) {
                         let line = self.data_gen.next_line(idx);
                         let ready = self.mem.access_data_line(line, self.now);
                         return (ready - self.now).max(1);
@@ -390,8 +401,8 @@ impl<'p> Simulator<'p> {
             let Some(fi) = self.dq.pop_front() else { break };
             let lat = self.exec_latency(&fi);
             let complete_at = self.now + self.cfg.backend.frontend_depth + lat;
-            let is_branch = fi.kind.is_branch();
-            let is_cond = fi.kind.branch_kind().is_some_and(|k| k.is_conditional());
+            let is_branch = meta::tag_is_branch(fi.tag);
+            let is_cond = fi.tag == meta::TAG_COND_DIRECT;
             if let (Some(seq), Some(rec)) = (fi.seq, fi.branch) {
                 self.unresolved.push_back(UnresolvedBranch {
                     id: fi.id,
@@ -468,13 +479,12 @@ impl<'p> Simulator<'p> {
     /// BTB prefetching (§VI-E): pre-decode a filled line and install all
     /// PC-relative branches, blindly.
     fn btb_prefetch_line(&mut self, line: u64) {
-        let base = Addr::new(line * fdip_types::CACHE_LINE_BYTES);
-        for slot in 0..(fdip_types::CACHE_LINE_BYTES / fdip_types::INSTR_BYTES) {
-            let pc = base + slot * fdip_types::INSTR_BYTES;
-            if let InstrKind::Branch { kind, target } = self.program.image().instr_at(pc).kind {
-                if kind.is_direct() {
-                    self.preds.btb.insert(pc, kind, target);
-                }
+        for i in self.meta.slots_of_line(line) {
+            if self.meta.flags(i) & meta::F_DIRECT != 0 {
+                let kind = meta::tag_branch_kind(self.meta.tag(i)).expect("direct implies branch");
+                self.preds
+                    .btb
+                    .insert(self.meta.addr_of(i), kind, self.meta.target(i));
             }
         }
     }
@@ -543,7 +553,7 @@ impl<'p> Simulator<'p> {
             head.fetched_upto += 1;
             let drained = head.is_drained();
 
-            let kind = self.program.image().instr_at(pc).kind;
+            let tag = self.meta.tag_at(pc);
             let id = self.next_id;
             self.next_id += 1;
 
@@ -568,9 +578,9 @@ impl<'p> Simulator<'p> {
                         self.dq.push_back(FetchedInstr {
                             id,
                             pc,
-                            kind,
+                            tag,
                             seq,
-                            branch: Some(Box::new(r)),
+                            branch: Some(r),
                         });
                         // The rest of the head entry and everything
                         // younger is flushed.
@@ -588,12 +598,7 @@ impl<'p> Simulator<'p> {
                 let pf_target = if r.predicted_taken {
                     r.predicted_target
                 } else {
-                    self.program
-                        .image()
-                        .instr_at(pc)
-                        .kind
-                        .static_target()
-                        .unwrap_or(Addr::NULL)
+                    self.meta.static_target_at(pc).unwrap_or(Addr::NULL)
                 };
                 if on_path {
                     let before = self.pf_scratch.len();
@@ -607,15 +612,15 @@ impl<'p> Simulator<'p> {
                 self.dq.push_back(FetchedInstr {
                     id,
                     pc,
-                    kind,
+                    tag,
                     seq,
-                    branch: Some(Box::new(r)),
+                    branch: Some(r),
                 });
             } else {
                 self.dq.push_back(FetchedInstr {
                     id,
                     pc,
-                    kind,
+                    tag,
                     seq,
                     branch: None,
                 });
@@ -633,7 +638,7 @@ impl<'p> Simulator<'p> {
     /// re-steered (PFC cases of Fig. 5) or the history repaired (GHR2/3
     /// fixup, with `taken = false` and a sequential restream).
     fn pfc_decision(&self, r: &SlotBranch, pc: Addr, hint: bool) -> Option<(bool, Addr, bool)> {
-        let image_target = self.program.image().instr_at(pc).kind.static_target();
+        let image_target = self.meta.static_target_at(pc);
         if self.cfg.pfc {
             if r.kind.is_unconditional() && r.kind.pfc_target_available() {
                 // Case 1: an unconditional branch before the block end —
@@ -666,7 +671,7 @@ impl<'p> Simulator<'p> {
 
     /// Re-steers the prediction pipeline from pre-decode (PFC or fixup).
     fn restream(&mut self, r: &SlotBranch, pc: Addr, seq: Option<u64>, taken: bool, target: Addr) {
-        let mut h = *r.ckpt;
+        let mut h = r.ckpt;
         if taken || !self.cfg.policy.uses_target_history() {
             h.record_branch(&self.preds.plan, self.cfg.policy, pc, taken, target);
         }
@@ -754,22 +759,24 @@ impl<'p> Simulator<'p> {
                 }
             }
 
-            let static_kind = self.program.image().instr_at(pc).kind;
-            let actual_branch = static_kind.branch_kind();
+            let slot_idx = self.meta.slot_of(pc);
+            let tag = slot_idx.map_or(meta::TAG_ALU, |i| self.meta.tag(i));
+            let actual_branch = meta::tag_branch_kind(tag);
 
             // --- BTB (16 slots/cycle readout; every slot probed).
             let (detected, btb_kind, btb_target) = if self.cfg.perfect_btb {
-                let idx = self.program.image().index_of(pc);
-                let known = idx.is_some_and(|i| self.perfect_btb_has[i]);
-                match static_kind {
-                    InstrKind::Branch { kind, target } if known => {
+                let known =
+                    slot_idx.is_some_and(|i| self.perfect_btb_bits[i / 64] >> (i % 64) & 1 == 1);
+                match (known, actual_branch) {
+                    (true, Some(kind)) => {
                         // Indirect targets are not in the instruction
                         // word; a perfect BTB still remembers the last
                         // observed target like a real one.
-                        let target = if target.is_null() {
+                        let embedded = self.meta.target(slot_idx.expect("known implies mapped"));
+                        let target = if embedded.is_null() {
                             self.preds.btb.lookup(pc).map_or(Addr::NULL, |e| e.target)
                         } else {
-                            target
+                            embedded
                         };
                         (true, Some(kind), target)
                     }
@@ -814,7 +821,21 @@ impl<'p> Simulator<'p> {
             }
 
             // --- Checkpoint before this slot's speculative effects.
-            let ckpt = self.hist;
+            // Only branch slots need one, and the copy is several hundred
+            // bytes, so it is written straight into the boxed record the
+            // branch will travel in (predictions are patched in below).
+            let mut rec = actual_branch.map(|k| {
+                Box::new(SlotBranch {
+                    offset,
+                    kind: k,
+                    ckpt: self.hist,
+                    tage_pred,
+                    itt_pred: IttagePrediction::default(),
+                    predicted_taken: false,
+                    predicted_target: Addr::NULL,
+                    detected,
+                })
+            });
             let mut itt_pred = IttagePrediction::default();
             let mut predicted_taken = false;
             let mut predicted_target = Addr::NULL;
@@ -884,17 +905,11 @@ impl<'p> Simulator<'p> {
                 if hint {
                     e.hints |= 1 << offset;
                 }
-                if let Some(k) = actual_branch {
-                    e.branches.push(SlotBranch {
-                        offset,
-                        kind: k,
-                        ckpt: Box::new(ckpt),
-                        tage_pred,
-                        itt_pred,
-                        predicted_taken,
-                        predicted_target,
-                        detected,
-                    });
+                if let Some(mut r) = rec.take() {
+                    r.itt_pred = itt_pred;
+                    r.predicted_taken = predicted_taken;
+                    r.predicted_target = predicted_target;
+                    e.branches.push(r);
                 }
             }
 
@@ -940,21 +955,19 @@ impl<'p> Simulator<'p> {
         // again, preventing aggressive prefetchers from churning the
         // small L1I with repeated fills. Only FNL+MMA implements such a
         // filter (paper §VI-D footnote); unfiltered prefetchers probe
-        // the I-cache tags for every candidate.
-        const REISSUE_WINDOW: Cycle = 768;
-        let filtered = self.prefetcher.has_reissue_filter();
+        // the I-cache tags for every candidate. The filter is a
+        // fixed-size probe table, so its memory is capped regardless of
+        // how many distinct lines the prefetcher touches.
         let mut issued = 0;
         while issued < self.cfg.prefetch_issue_bw {
             let Some(line) = self.pf_queue.pop_front() else {
                 break;
             };
             let now = self.now;
-            if filtered {
-                match self.pf_recent.get(&line) {
-                    Some(&t) if now < t + REISSUE_WINDOW => continue,
-                    _ => {}
+            if let Some(f) = self.pf_recent.as_mut() {
+                if f.filter(line, now, REISSUE_WINDOW) {
+                    continue;
                 }
-                self.pf_recent.insert(line, now);
             }
             self.mem.prefetch_instr_line(line, now);
             issued += 1;
@@ -962,11 +975,6 @@ impl<'p> Simulator<'p> {
         // Bound queue growth under pathological candidate floods (drop
         // the newest, least-urgent candidates).
         self.pf_queue.truncate(256);
-        // Keep the filter map bounded.
-        if self.pf_recent.len() > 4096 {
-            let cutoff = self.now.saturating_sub(REISSUE_WINDOW);
-            self.pf_recent.retain(|_, &mut t| t >= cutoff);
-        }
     }
 }
 
@@ -996,7 +1004,7 @@ pub fn run_workload_detailed(
     warmup: u64,
     measure: u64,
 ) -> (SimStats, SimDists) {
-    let mut sim = Simulator::new(cfg.clone(), program, 0xf0cc_ed);
+    let mut sim = Simulator::new(cfg.clone(), program, 0xf0cced);
     sim.run_detailed(warmup, measure)
 }
 
@@ -1107,6 +1115,22 @@ mod tests {
             perfect.mispredicts,
             base.mispredicts
         );
+    }
+
+    #[test]
+    fn perfect_btb_table_is_only_allocated_when_enabled() {
+        let p = small_program(5);
+        let off = Simulator::new(CoreConfig::fdp(), &p, 1);
+        assert_eq!(off.perfect_btb_table_words(), 0);
+        let on = Simulator::new(
+            CoreConfig {
+                perfect_btb: true,
+                ..CoreConfig::fdp()
+            },
+            &p,
+            1,
+        );
+        assert!(on.perfect_btb_table_words() > 0);
     }
 
     #[test]

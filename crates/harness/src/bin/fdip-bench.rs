@@ -1,0 +1,122 @@
+//! Simulator-throughput benchmark: times simulated-instructions-per-second
+//! and cycles-per-second across a workload suite and emits the versioned
+//! `BENCH_core.json` document (`docs/METRICS.md`, Document 3), so every PR
+//! records the simulator's performance trajectory.
+//!
+//! ```text
+//! fdip-bench --json BENCH_core.json
+//! fdip-bench --instrs 200000 --iters 5 --baseline BENCH_core.json --json new.json
+//! ```
+//!
+//! `--baseline <path>` embeds a previously written bench document's
+//! aggregate throughput for a machine-readable before/after comparison
+//! (`bench.speedup_vs_baseline`).
+
+use fdip_harness::bench::{run_bench, BenchBaseline};
+use fdip_program::workload;
+use fdip_sim::CoreConfig;
+use fdip_telemetry::Json;
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fdip-bench [options]
+  --suite <quick|full>   workload suite (default quick)
+  --instrs <n>           instructions simulated per timed run (default
+                         FDIP_INSTRS or 120000)
+  --iters <n>            iterations per workload, best kept (default 3)
+  --json <path>          write the bench document (FDIP_JSON equivalent)
+  --baseline <path>      embed a previous bench document as the baseline"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut suite_name = "quick".to_string();
+    let mut instrs: u64 = std::env::var("FDIP_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120_000);
+    let mut iters: u32 = 3;
+    let mut json_path = std::env::var("FDIP_JSON").ok().filter(|p| !p.is_empty());
+    let mut baseline_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--suite" => suite_name = val(),
+            "--instrs" => instrs = val().parse().unwrap_or_else(|_| usage()),
+            "--iters" => iters = val().parse().unwrap_or_else(|_| usage()),
+            "--json" => json_path = Some(val()),
+            "--baseline" => baseline_path = Some(val()),
+            _ => usage(),
+        }
+    }
+    let workloads = match suite_name.as_str() {
+        "quick" => workload::quick_suite(),
+        "full" => workload::suite(),
+        _ => usage(),
+    };
+
+    let baseline = baseline_path.map(|p| {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {p}: {e}");
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse baseline {p}: {e}");
+            std::process::exit(1);
+        });
+        BenchBaseline::from_doc(&doc).unwrap_or_else(|| {
+            eprintln!("error: {p} has no bench.aggregate block");
+            std::process::exit(1);
+        })
+    });
+
+    eprintln!(
+        "bench suite {}: {} workloads, {} instrs, best of {}",
+        suite_name,
+        workloads.len(),
+        instrs,
+        iters
+    );
+    let mut result = run_bench(&CoreConfig::fdp(), &workloads, &suite_name, instrs, iters);
+    result.baseline = baseline;
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>14}",
+        "workload", "setup ms", "run ms", "instrs/sec", "cycles/sec"
+    );
+    for w in &result.workloads {
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>14.0} {:>14.0}",
+            w.name,
+            w.setup_seconds * 1e3,
+            w.run_seconds * 1e3,
+            w.instrs_per_sec(),
+            w.cycles_per_sec()
+        );
+    }
+    println!(
+        "aggregate    {:>12.1} {:>12.1} {:>14.0} {:>14.0}",
+        result.setup_seconds() * 1e3,
+        result.run_seconds() * 1e3,
+        result.instrs_per_sec(),
+        result.cycles_per_sec()
+    );
+    if result.baseline.is_some() {
+        println!(
+            "speedup vs baseline: {:.3}x instrs/sec",
+            result.speedup_vs_baseline()
+        );
+    }
+    if let Some(path) = &json_path {
+        if let Err(e) = result.write_json_file(Path::new(path)) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -22,11 +22,13 @@
 //!   available cores; `--jobs <n>` on the binaries overrides). Results
 //!   are identical for any value — only wall-clock changes.
 
+pub mod bench;
 pub mod experiments;
 mod report;
 mod runner;
 mod suite;
 
+pub use bench::{BenchBaseline, BenchResult, BenchWorkload};
 pub use report::{Report, Table};
 pub use runner::{geomean, Runner};
 pub use suite::{SuiteResult, WorkloadResult};

@@ -345,6 +345,6 @@ mod tests {
         let r = Runner::quick(1_000, 5_000);
         let stats = r.run_config(&CoreConfig::fdp());
         let m = Runner::mean_mpki(&stats);
-        assert!(m >= 0.0 && m < 200.0);
+        assert!((0.0..200.0).contains(&m));
     }
 }

@@ -6,8 +6,8 @@
 //! ready cycle, so later accesses to an in-flight line merge onto the same
 //! fill (MSHR-style) instead of seeing an instant hit.
 
+use crate::table::FillMap;
 use fdip_types::Cycle;
-use std::collections::HashMap;
 
 /// Geometry and timing of one cache level.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -97,7 +97,7 @@ pub struct Cache {
     config: CacheConfig,
     sets: Vec<Vec<Line>>,
     /// line -> ready cycle, for in-flight fills.
-    pending: HashMap<u64, Cycle>,
+    pending: FillMap,
     stamp: u64,
     stats: CacheStats,
 }
@@ -118,7 +118,7 @@ impl Cache {
             name,
             config,
             sets: vec![Vec::with_capacity(config.assoc); sets],
-            pending: HashMap::new(),
+            pending: FillMap::new(),
             stamp: 0,
             stats: CacheStats::default(),
         }
@@ -154,19 +154,6 @@ impl Cache {
         Some(l)
     }
 
-    /// Ready cycle for a present line (merging onto a pending fill when
-    /// one is in flight), or `None`.
-    fn ready_cycle(&mut self, line: u64, now: Cycle) -> Option<Cycle> {
-        match self.pending.get(&line) {
-            Some(&r) if r > now => Some(r),
-            Some(_) => {
-                self.pending.remove(&line);
-                Some(now + self.config.hit_latency)
-            }
-            None => Some(now + self.config.hit_latency),
-        }
-    }
-
     /// Demand probe: updates LRU, counts stats, detects useful prefetches.
     pub fn probe_demand(&mut self, line: u64, now: Cycle) -> Lookup {
         self.stats.tag_probes += 1;
@@ -182,11 +169,20 @@ impl Cache {
         };
         if hit {
             self.stats.demand_hits += 1;
-            let was_pending = self.pending.get(&line).is_some_and(|&r| r > now);
-            if was_pending {
-                self.stats.demand_merged += 1;
+            // One pending lookup answers both questions: a still-in-flight
+            // fill merges the demand onto it; a completed fill releases
+            // its MSHR and the hit proceeds at the normal latency.
+            match self.pending.get(line) {
+                Some(r) if r > now => {
+                    self.stats.demand_merged += 1;
+                    Lookup::Hit(r)
+                }
+                Some(_) => {
+                    self.pending.remove(line);
+                    Lookup::Hit(now + self.config.hit_latency)
+                }
+                None => Lookup::Hit(now + self.config.hit_latency),
             }
-            Lookup::Hit(self.ready_cycle(line, now).expect("present"))
         } else {
             self.stats.demand_misses += 1;
             Lookup::Miss
@@ -213,12 +209,12 @@ impl Cache {
     /// not already present or in flight).
     pub fn note_prefetch(&mut self, line: u64, now: Cycle) -> bool {
         self.stats.prefetch_requests += 1;
-        if self.probe_tag(line) || self.pending.contains_key(&line) {
+        if self.probe_tag(line) || self.pending.contains(line) {
             return false;
         }
         if self.pending.len() >= self.config.mshrs {
             // Completed fills release their MSHRs; purge lazily.
-            self.pending.retain(|_, &mut ready| ready > now);
+            self.pending.retain(|_, ready| ready > now);
         }
         if self.pending.len() >= self.config.mshrs {
             self.stats.prefetch_dropped += 1;
@@ -249,7 +245,7 @@ impl Cache {
                 .map(|(i, _)| i)
                 .expect("set not empty");
             let victim = ways.swap_remove(victim_idx);
-            self.pending.remove(&victim.tag);
+            self.pending.remove(victim.tag);
             self.stats.evictions += 1;
         }
         ways.push(Line {

@@ -22,6 +22,7 @@
 
 mod cache;
 mod hierarchy;
+mod table;
 
 pub use cache::{Cache, CacheConfig, CacheStats, Lookup};
 pub use hierarchy::{Hierarchy, HierarchyConfig, TrafficStats};

@@ -102,7 +102,7 @@ impl FnlMma {
         } else if self.last_line != u64::MAX && line != self.last_line {
             // A non-sequential departure decays worthiness slowly.
             let i = self.widx(self.last_line);
-            if self.worthiness[i] > 0 && line % 7 == 0 {
+            if self.worthiness[i] > 0 && line.is_multiple_of(7) {
                 self.worthiness[i] -= 1;
             }
         }

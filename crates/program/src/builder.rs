@@ -206,8 +206,8 @@ impl ProgramBuilder {
                     func.end
                 };
                 // Body: everything except the final (terminator) slot.
-                for slot in bstart..bend.saturating_sub(1) {
-                    instrs[slot] = StaticInstr::op(self.sample_op_class(&mut rng));
+                for instr in &mut instrs[bstart..bend.saturating_sub(1)] {
+                    *instr = StaticInstr::op(self.sample_op_class(&mut rng));
                 }
                 let term = bend - 1;
                 let is_last_block = bi + 1 == nblocks;

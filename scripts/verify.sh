@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full verification gate: build, tests, formatting, docs.
+# Full verification gate: build, tests, lints, formatting, docs.
 #
 # This is what CI runs (quick-suite scale — FDIP_SUITE=quick is set for
 # the integration tests' child processes via the tests themselves). All
@@ -13,6 +13,9 @@ cargo build --release --offline --workspace
 
 echo "==> cargo test"
 cargo test -q --offline --workspace
+
+echo "==> cargo clippy"
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> determinism smoke: FDIP_JOBS=1 vs FDIP_JOBS=2"
 # A quick-suite experiments run must produce byte-identical JSON for any
@@ -29,6 +32,13 @@ for jobs in 1 2; do
 done
 diff -u "$tmp/j1.stripped.json" "$tmp/j2.stripped.json"
 echo "    identical results at 1 and 2 workers"
+
+echo "==> bench smoke: fdip-bench emits a valid document"
+./target/release/fdip-bench --instrs 2000 --iters 1 --json "$tmp/bench.json" \
+  > /dev/null
+test -s "$tmp/bench.json"
+grep -q '"instrs_per_sec"' "$tmp/bench.json"
+echo "    bench document written"
 
 echo "==> cargo fmt --check"
 cargo fmt --check

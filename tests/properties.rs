@@ -196,7 +196,7 @@ proptest! {
             }
             prop_assert!(ftq.len() <= ftq.capacity());
             prop_assert_eq!(ftq.free(), ftq.capacity() - ftq.len());
-            prop_assert_eq!(ftq.is_empty(), ftq.len() == 0);
+            prop_assert_eq!(ftq.is_empty(), ftq.free() == ftq.capacity());
         }
     }
 

@@ -329,10 +329,8 @@ mod tests {
 
         #[test]
         fn options_mix(opts in prop::collection::vec(prop::option::of(0u64..10), 40..60)) {
-            for o in &opts {
-                if let Some(v) = o {
-                    prop_assert!(*v < 10);
-                }
+            for v in opts.iter().flatten() {
+                prop_assert!(*v < 10);
             }
         }
 
