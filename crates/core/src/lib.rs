@@ -46,5 +46,7 @@ pub use ftq::{ftq_overhead_bytes, FillState, Ftq, FtqEntry, SlotBranch};
 pub use hist::HistState;
 pub use meta::StaticMeta;
 pub use probe::ProbeTable;
-pub use sim::{run_workload, run_workload_detailed, run_workload_job, Simulator};
-pub use stats::SimStats;
+pub use sim::{
+    run_workload, run_workload_detailed, run_workload_job, run_workload_traced, Simulator,
+};
+pub use stats::{SimStats, StallCycles, StallReason, STALL_REASON_NAMES};

@@ -20,11 +20,12 @@ use crate::meta::{self, StaticMeta};
 use crate::oracle::Oracle;
 use crate::predictors::Predictors;
 use crate::probe::ProbeTable;
-use crate::stats::SimStats;
+use crate::stats::{SimStats, StallReason};
 use fdip_bpred::{IttagePrediction, TagePrediction};
-use fdip_mem::Hierarchy;
+use fdip_mem::{FillSrc, Hierarchy};
 use fdip_prefetch::Prefetcher;
 use fdip_program::{ExecutionEngine, Program};
+use fdip_trace::{TraceEventKind, Tracer};
 use fdip_types::{Addr, Cycle};
 use std::collections::VecDeque;
 
@@ -51,6 +52,17 @@ pub struct Simulator<'p> {
     pred_on_path: bool,
     pred_seq: u64,
     pred_stall_until: Cycle,
+    /// Bucket a `pred_stall_until` window charges to once its BTB-latency
+    /// prefix elapses ([`StallReason::Redirect`] or
+    /// [`StallReason::PfcRestream`]).
+    stall_src: StallReason,
+    /// End of the BTB-latency prefix of the current redirect window;
+    /// cycles before this charge to [`StallReason::PredLatency`].
+    stall_btb_until: Cycle,
+    /// Bucket charged last cycle (edge detector for the tracer's
+    /// `StallTransition` events).
+    last_stall: StallReason,
+    trace: Tracer,
     retire_seq: u64,
     now: Cycle,
     next_id: u64,
@@ -128,6 +140,10 @@ impl<'p> Simulator<'p> {
             pred_on_path: true,
             pred_seq: 0,
             pred_stall_until: 0,
+            stall_src: StallReason::Redirect,
+            stall_btb_until: 0,
+            last_stall: StallReason::Committing,
+            trace: Tracer::disabled(),
             retire_seq: 0,
             now: 0,
             next_id: 0,
@@ -186,8 +202,39 @@ impl<'p> Simulator<'p> {
         self.run_until_retired(warmup);
         let snap = self.collect();
         self.dists.clear(self.now, self.stats.retired);
+        self.trace.clear();
         self.run_until_retired(warmup + measure);
-        (self.collect().delta(&snap), self.dists.clone())
+        let delta = self.collect().delta(&snap);
+        // Cycle-accounting invariant: every measured cycle lands in
+        // exactly one stall bucket.
+        assert_eq!(
+            delta.stall.sum(),
+            delta.cycles,
+            "stall buckets must partition the measured cycles"
+        );
+        (delta, self.dists.clone())
+    }
+
+    /// Enables the event tracer with a ring buffer of `capacity` events
+    /// (the measurement boundary clears it, so an exported trace covers
+    /// the tail of the measurement interval only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Tracer::with_capacity(capacity);
+    }
+
+    /// The event tracer (disabled and empty unless
+    /// [`Simulator::enable_trace`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.trace
+    }
+
+    /// Takes the tracer out of the simulator, leaving a disabled one.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::replace(&mut self.trace, Tracer::disabled())
     }
 
     /// The distribution telemetry recorded so far.
@@ -230,13 +277,36 @@ impl<'p> Simulator<'p> {
 
     /// Advances the core by one cycle.
     pub fn step(&mut self) {
+        let retired_before = self.stats.retired;
         self.resolve_branches();
         self.retire();
         self.dispatch();
         self.fetch_stage();
         self.predict_stage();
         self.issue_prefetches();
-        if self.dq.len() < self.cfg.decode_width {
+        // Cycle accounting: the two common cases (work retired, or the
+        // backend holding a full decode group) are decided from state
+        // already at hand; only genuinely starved cycles walk the
+        // frontend-stall priority tree.
+        let starved = self.dq.len() < self.cfg.decode_width;
+        let reason = if self.stats.retired > retired_before {
+            StallReason::Committing
+        } else if !starved {
+            StallReason::Backend
+        } else {
+            self.classify_frontend_stall()
+        };
+        self.stats.stall.charge(reason);
+        if self.trace.enabled() && reason != self.last_stall {
+            self.trace.record(
+                self.now,
+                TraceEventKind::StallTransition,
+                reason.index() as u64,
+                self.last_stall.index() as u64,
+            );
+            self.last_stall = reason;
+        }
+        if starved {
             self.stats.starvation_cycles += 1;
         }
         self.stats.ftq_occupancy_sum += self.ftq.len() as u64;
@@ -245,6 +315,46 @@ impl<'p> Simulator<'p> {
         self.stats.cycles += 1;
         self.now += 1;
         self.dists.maybe_sample_ipc(self.now, self.stats.retired);
+    }
+
+    /// Charges a starved, non-retiring cycle to one frontend
+    /// [`StallReason`] bucket (`step` decides `Committing`/`Backend`
+    /// before calling this — work done beats every stall, and a decode
+    /// queue with a full decode group means the frontend kept up).
+    ///
+    /// Priority tree: an active redirect window splits into its
+    /// BTB-latency prefix and the penalty's source; otherwise the FTQ
+    /// head tells the story (no head → prediction starved the queue; a
+    /// fill still in flight is an exposed miss only if it actually
+    /// missed or was stretched by an in-flight merge beyond the hit
+    /// latency).
+    fn classify_frontend_stall(&self) -> StallReason {
+        if self.now < self.pred_stall_until {
+            if self.now < self.stall_btb_until {
+                return StallReason::PredLatency;
+            }
+            return self.stall_src;
+        }
+        match self.ftq.head() {
+            None => StallReason::FtqEmpty,
+            Some(e) => match e.fill {
+                FillState::Waiting => StallReason::PredLatency,
+                FillState::Requested {
+                    ready_at,
+                    missed,
+                    requested_at,
+                    ..
+                } => {
+                    if ready_at <= self.now {
+                        StallReason::FetchBw
+                    } else if missed || ready_at > requested_at + self.cfg.mem.l1i.hit_latency {
+                        StallReason::IcacheMiss
+                    } else {
+                        StallReason::PredLatency
+                    }
+                }
+            },
+        }
     }
 
     // ----------------------------------------------------------------
@@ -346,6 +456,14 @@ impl<'p> Simulator<'p> {
         self.pred_on_path = true;
         self.pred_seq = u.seq + 1;
         self.pred_stall_until = self.now + self.cfg.btb_latency + self.cfg.redirect_penalty;
+        self.stall_btb_until = self.now + self.cfg.btb_latency;
+        self.stall_src = StallReason::Redirect;
+        self.trace.record(
+            self.now,
+            TraceEventKind::Flush,
+            u.pc.raw(),
+            actual_next.raw(),
+        );
         if let Some(lp) = self.preds.loop_pred.as_mut() {
             lp.flush_speculation();
         }
@@ -455,7 +573,16 @@ impl<'p> Simulator<'p> {
                 self.mem.prefetch_instr_line_instant(line, self.now);
             }
             let present = self.mem.instr_line_present(line);
-            let ready_at = self.mem.fetch_instr_line(line, self.now);
+            let ready_at = self
+                .mem
+                .fetch_instr_line_decoupled(line, self.now, !was_head);
+            if self.trace.enabled() {
+                if let Some((src, late)) = self.mem.take_last_instr_use() {
+                    let b = (src == FillSrc::Pf) as u64 | (late as u64) << 1;
+                    self.trace
+                        .record(self.now, TraceEventKind::PrefetchUse, line, b);
+                }
+            }
             let missed = !present;
             self.prefetcher
                 .on_access(line, present, self.now, &mut self.pf_scratch);
@@ -689,6 +816,10 @@ impl<'p> Simulator<'p> {
         let next = if taken { target } else { pc.next_instr() };
         self.pred_pc = next;
         self.pred_stall_until = self.now + self.cfg.btb_latency + self.cfg.pfc_redirect_penalty;
+        self.stall_btb_until = self.now + self.cfg.btb_latency;
+        self.stall_src = StallReason::PfcRestream;
+        self.trace
+            .record(self.now, TraceEventKind::Restream, pc.raw(), taken as u64);
         match seq {
             Some(s) => {
                 let actual = *self.oracle.get(s);
@@ -929,21 +1060,32 @@ impl<'p> Simulator<'p> {
                 let mut e = open.take().expect("block open");
                 e.predicted_taken = true;
                 e.next_block = next;
-                self.ftq.push(e);
+                self.push_ftq(e);
                 if !self.cfg.multi_taken {
                     break;
                 }
             } else if offset == 7 {
                 let mut e = open.take().expect("block open");
                 e.next_block = next;
-                self.ftq.push(e);
+                self.push_ftq(e);
             }
         }
         if let Some(mut e) = open.take() {
             e.next_block = cursor;
-            self.ftq.push(e);
+            self.push_ftq(e);
         }
         self.pred_pc = cursor;
+    }
+
+    /// Inserts a completed block into the FTQ, tracing the enqueue.
+    fn push_ftq(&mut self, e: FtqEntry) {
+        self.trace.record(
+            self.now,
+            TraceEventKind::FtqEnqueue,
+            e.start.raw(),
+            e.line(),
+        );
+        self.ftq.push(e);
     }
 
     // ----------------------------------------------------------------
@@ -969,7 +1111,13 @@ impl<'p> Simulator<'p> {
                     continue;
                 }
             }
-            self.mem.prefetch_instr_line(line, now);
+            let filled = self.mem.prefetch_instr_line(line, now);
+            self.trace
+                .record(now, TraceEventKind::PrefetchIssue, line, 0);
+            if filled {
+                self.trace
+                    .record(now, TraceEventKind::PrefetchFill, line, 0);
+            }
             issued += 1;
         }
         // Bound queue growth under pathological candidate floods (drop
@@ -1006,6 +1154,23 @@ pub fn run_workload_detailed(
 ) -> (SimStats, SimDists) {
     let mut sim = Simulator::new(cfg.clone(), program, 0xf0cced);
     sim.run_detailed(warmup, measure)
+}
+
+/// Like [`run_workload_detailed`], but with the event tracer enabled at
+/// `trace_capacity` ring slots. The returned tracer holds the (tail of
+/// the) measurement interval's events, ready for
+/// [`Tracer::to_chrome_trace`].
+pub fn run_workload_traced(
+    cfg: &CoreConfig,
+    program: &Program,
+    warmup: u64,
+    measure: u64,
+    trace_capacity: usize,
+) -> (SimStats, SimDists, Tracer) {
+    let mut sim = Simulator::new(cfg.clone(), program, 0xf0cced);
+    sim.enable_trace(trace_capacity);
+    let (stats, dists) = sim.run_detailed(warmup, measure);
+    (stats, dists, sim.take_tracer())
 }
 
 /// The `Send`-safe (`'static`) run entry point for job pools: owns its

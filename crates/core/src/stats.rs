@@ -3,8 +3,155 @@
 //! I-cache tag accesses/KI, exposure classification).
 
 use fdip_bpred::BtbStats;
-use fdip_mem::{CacheStats, TrafficStats};
+use fdip_mem::{CacheStats, PrefetchOutcomes, TrafficStats};
 use fdip_telemetry::{Json, ToJson};
+
+/// Display/schema names of the stall buckets, indexed by
+/// [`StallReason::index`]. Also the label table handed to
+/// `fdip_trace::Tracer::to_chrome_trace`.
+pub const STALL_REASON_NAMES: [&str; 8] = [
+    "committing",
+    "backend",
+    "fetch_bw",
+    "icache_miss",
+    "ftq_empty",
+    "pred_latency",
+    "redirect",
+    "pfc_restream",
+];
+
+/// The single bucket a simulated cycle is charged to.
+///
+/// Classification is a priority tree evaluated once per cycle at the end
+/// of `Simulator::step`; every cycle lands in exactly one bucket, so the
+/// per-bucket counters in [`StallCycles`] always sum to `cycles`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum StallReason {
+    /// At least one instruction retired this cycle.
+    Committing = 0,
+    /// Nothing retired but the decode queue is full: the backend
+    /// (execution latency, ROB, retire width) is the bottleneck.
+    Backend = 1,
+    /// The FTQ head is fetch-ready but the decode queue still starved:
+    /// fetch bandwidth (or a mid-entry taken-branch break) limited
+    /// delivery.
+    FetchBw = 2,
+    /// The decode queue starved while the FTQ head waits on an
+    /// in-flight I-cache fill — the exposed-miss stall of §VI-G.
+    IcacheMiss = 3,
+    /// The decode queue starved with an empty FTQ (prediction pipeline
+    /// could not stay ahead).
+    FtqEmpty = 4,
+    /// Predictor/BTB/fetch-pipeline latency: the BTB-latency portion of
+    /// a redirect, an entry awaiting its tag lookup, or an I-cache hit
+    /// still in its hit-latency window.
+    PredLatency = 5,
+    /// The post-BTB-latency portion of an execute-time misprediction
+    /// redirect penalty.
+    Redirect = 6,
+    /// The post-BTB-latency portion of a PFC restream penalty (§III-B).
+    PfcRestream = 7,
+}
+
+impl StallReason {
+    /// Every bucket, in [`STALL_REASON_NAMES`] order.
+    pub const ALL: [StallReason; 8] = [
+        StallReason::Committing,
+        StallReason::Backend,
+        StallReason::FetchBw,
+        StallReason::IcacheMiss,
+        StallReason::FtqEmpty,
+        StallReason::PredLatency,
+        StallReason::Redirect,
+        StallReason::PfcRestream,
+    ];
+
+    /// Index into [`STALL_REASON_NAMES`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Schema name of this bucket.
+    pub fn name(self) -> &'static str {
+        STALL_REASON_NAMES[self.index()]
+    }
+}
+
+/// Per-bucket cycle counts; the invariant `sum() == cycles` is asserted
+/// at the end of every `Simulator::run_detailed` and in tests.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct StallCycles {
+    /// Cycles with at least one retirement.
+    pub committing: u64,
+    /// Backend-bound cycles (decode queue full, nothing retired).
+    pub backend: u64,
+    /// Fetch-bandwidth-bound cycles.
+    pub fetch_bw: u64,
+    /// Cycles exposed to an in-flight I-cache fill.
+    pub icache_miss: u64,
+    /// Cycles starved with an empty FTQ.
+    pub ftq_empty: u64,
+    /// Predictor/BTB/fetch-pipeline latency cycles.
+    pub pred_latency: u64,
+    /// Redirect-penalty cycles (execute-time flush).
+    pub redirect: u64,
+    /// PFC-restream-penalty cycles.
+    pub pfc_restream: u64,
+}
+
+impl StallCycles {
+    fn slot_mut(&mut self, r: StallReason) -> &mut u64 {
+        match r {
+            StallReason::Committing => &mut self.committing,
+            StallReason::Backend => &mut self.backend,
+            StallReason::FetchBw => &mut self.fetch_bw,
+            StallReason::IcacheMiss => &mut self.icache_miss,
+            StallReason::FtqEmpty => &mut self.ftq_empty,
+            StallReason::PredLatency => &mut self.pred_latency,
+            StallReason::Redirect => &mut self.redirect,
+            StallReason::PfcRestream => &mut self.pfc_restream,
+        }
+    }
+
+    /// Charges one cycle to bucket `r`.
+    pub fn charge(&mut self, r: StallReason) {
+        *self.slot_mut(r) += 1;
+    }
+
+    /// Cycles charged to bucket `r`.
+    pub fn get(&self, r: StallReason) -> u64 {
+        match r {
+            StallReason::Committing => self.committing,
+            StallReason::Backend => self.backend,
+            StallReason::FetchBw => self.fetch_bw,
+            StallReason::IcacheMiss => self.icache_miss,
+            StallReason::FtqEmpty => self.ftq_empty,
+            StallReason::PredLatency => self.pred_latency,
+            StallReason::Redirect => self.redirect,
+            StallReason::PfcRestream => self.pfc_restream,
+        }
+    }
+
+    /// Total cycles across all buckets (must equal `cycles`).
+    pub fn sum(&self) -> u64 {
+        StallReason::ALL.iter().map(|&r| self.get(r)).sum()
+    }
+
+    /// Field-wise difference (interval arithmetic).
+    pub fn sub(&self, b: &StallCycles) -> StallCycles {
+        StallCycles {
+            committing: self.committing - b.committing,
+            backend: self.backend - b.backend,
+            fetch_bw: self.fetch_bw - b.fetch_bw,
+            icache_miss: self.icache_miss - b.icache_miss,
+            ftq_empty: self.ftq_empty - b.ftq_empty,
+            pred_latency: self.pred_latency - b.pred_latency,
+            redirect: self.redirect - b.redirect,
+            pfc_restream: self.pfc_restream - b.pfc_restream,
+        }
+    }
+}
 
 /// Raw counters collected over a simulation interval.
 ///
@@ -58,6 +205,8 @@ pub struct SimStats {
     pub miss_full: u64,
     /// Prefetch candidate lines emitted by the dedicated prefetcher.
     pub prefetch_candidates: u64,
+    /// Per-bucket cycle attribution (`sum == cycles` always).
+    pub stall: StallCycles,
     /// L1 instruction cache counters.
     pub l1i: CacheStats,
     /// L1 data cache counters.
@@ -72,7 +221,8 @@ pub struct SimStats {
 
 macro_rules! sub_fields {
     ($a:expr, $b:expr, { $($f:ident),* $(,)? }) => {
-        SimStats { $($f: $a.$f - $b.$f,)* l1i: sub_cache($a.l1i, $b.l1i),
+        SimStats { $($f: $a.$f - $b.$f,)* stall: $a.stall.sub(&$b.stall),
+                   l1i: sub_cache($a.l1i, $b.l1i),
                    l1d: sub_cache($a.l1d, $b.l1d), l2: sub_cache($a.l2, $b.l2),
                    traffic: TrafficStats {
                        dram_accesses: $a.traffic.dram_accesses - $b.traffic.dram_accesses,
@@ -89,6 +239,17 @@ macro_rules! sub_fields {
     };
 }
 
+fn sub_outcomes(a: PrefetchOutcomes, b: PrefetchOutcomes) -> PrefetchOutcomes {
+    PrefetchOutcomes {
+        requests: a.requests - b.requests,
+        timely: a.timely - b.timely,
+        late: a.late - b.late,
+        useless_evicted: a.useless_evicted - b.useless_evicted,
+        useless_replaced: a.useless_replaced - b.useless_replaced,
+        dropped: a.dropped - b.dropped,
+    }
+}
+
 fn sub_cache(a: CacheStats, b: CacheStats) -> CacheStats {
     CacheStats {
         demand_accesses: a.demand_accesses - b.demand_accesses,
@@ -101,6 +262,8 @@ fn sub_cache(a: CacheStats, b: CacheStats) -> CacheStats {
         useful_prefetches: a.useful_prefetches - b.useful_prefetches,
         tag_probes: a.tag_probes - b.tag_probes,
         evictions: a.evictions - b.evictions,
+        outcomes_fdp: sub_outcomes(a.outcomes_fdp, b.outcomes_fdp),
+        outcomes_pf: sub_outcomes(a.outcomes_pf, b.outcomes_pf),
     }
 }
 
@@ -191,6 +354,87 @@ impl SimStats {
         }
         self.pfc_harmful as f64 / self.pfc_restreams as f64
     }
+
+    /// Fraction of cycles charged to frontend stall buckets (everything
+    /// except `committing` and `backend`).
+    pub fn frontend_bound_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let fe = self.stall.fetch_bw
+            + self.stall.icache_miss
+            + self.stall.ftq_empty
+            + self.stall.pred_latency
+            + self.stall.redirect
+            + self.stall.pfc_restream;
+        fe as f64 / self.cycles as f64
+    }
+
+    /// Dedicated-prefetcher accuracy at the L1I: demand-used fills over
+    /// all fills whose fate is known (dropped requests and still-resident
+    /// lines excluded).
+    pub fn pf_accuracy(&self) -> f64 {
+        outcome_accuracy(&self.l1i.outcomes_pf)
+    }
+
+    /// Of the demand-used dedicated-prefetcher fills, the fraction that
+    /// completed before the demand arrived.
+    pub fn pf_timeliness(&self) -> f64 {
+        outcome_timeliness(&self.l1i.outcomes_pf)
+    }
+
+    /// Dedicated-prefetcher coverage at the L1I: demand-used fills over
+    /// used fills plus remaining demand misses.
+    pub fn pf_coverage(&self) -> f64 {
+        outcome_coverage(&self.l1i.outcomes_pf, self.l1i.demand_misses)
+    }
+
+    /// FDP (decoupled ahead-of-head fill) accuracy at the L1I; same
+    /// definition as [`SimStats::pf_accuracy`].
+    pub fn fdp_accuracy(&self) -> f64 {
+        outcome_accuracy(&self.l1i.outcomes_fdp)
+    }
+
+    /// Of the demand-used FDP fills, the fraction that completed before
+    /// the FTQ head demanded them.
+    pub fn fdp_timeliness(&self) -> f64 {
+        outcome_timeliness(&self.l1i.outcomes_fdp)
+    }
+}
+
+fn outcome_accuracy(o: &PrefetchOutcomes) -> f64 {
+    let used = o.timely + o.late;
+    let resolved_fills = used + o.useless_evicted + o.useless_replaced;
+    if resolved_fills == 0 {
+        return 0.0;
+    }
+    used as f64 / resolved_fills as f64
+}
+
+fn outcome_timeliness(o: &PrefetchOutcomes) -> f64 {
+    let used = o.timely + o.late;
+    if used == 0 {
+        return 0.0;
+    }
+    o.timely as f64 / used as f64
+}
+
+fn outcome_coverage(o: &PrefetchOutcomes, demand_misses: u64) -> f64 {
+    let used = o.timely + o.late;
+    if used + demand_misses == 0 {
+        return 0.0;
+    }
+    used as f64 / (used + demand_misses) as f64
+}
+
+fn outcomes_json(o: &PrefetchOutcomes) -> Json {
+    Json::obj()
+        .with("requests", o.requests)
+        .with("timely", o.timely)
+        .with("late", o.late)
+        .with("useless_evicted", o.useless_evicted)
+        .with("useless_replaced", o.useless_replaced)
+        .with("dropped", o.dropped)
 }
 
 fn cache_json(c: &CacheStats) -> Json {
@@ -205,6 +449,24 @@ fn cache_json(c: &CacheStats) -> Json {
         .with("useful_prefetches", c.useful_prefetches)
         .with("tag_probes", c.tag_probes)
         .with("evictions", c.evictions)
+        .with(
+            "prefetch_outcomes",
+            Json::obj()
+                .with("fdp", outcomes_json(&c.outcomes_fdp))
+                .with("pf", outcomes_json(&c.outcomes_pf)),
+        )
+}
+
+fn stall_json(s: &StallCycles) -> Json {
+    Json::obj()
+        .with("committing", s.committing)
+        .with("backend", s.backend)
+        .with("fetch_bw", s.fetch_bw)
+        .with("icache_miss", s.icache_miss)
+        .with("ftq_empty", s.ftq_empty)
+        .with("pred_latency", s.pred_latency)
+        .with("redirect", s.redirect)
+        .with("pfc_restream", s.pfc_restream)
 }
 
 impl ToJson for SimStats {
@@ -235,6 +497,7 @@ impl ToJson for SimStats {
             .with("miss_partial", self.miss_partial)
             .with("miss_full", self.miss_full)
             .with("prefetch_candidates", self.prefetch_candidates)
+            .with("stall_cycles", stall_json(&self.stall))
             .with("l1i", cache_json(&self.l1i))
             .with("l1d", cache_json(&self.l1d))
             .with("l2", cache_json(&self.l2))
@@ -252,6 +515,17 @@ impl ToJson for SimStats {
                     .with("hits", self.btb.hits)
                     .with("allocs", self.btb.allocs),
             );
+        let per_ki = |v: u64| {
+            if self.retired == 0 {
+                0.0
+            } else {
+                1000.0 * v as f64 / self.retired as f64
+            }
+        };
+        let mut stall_pki = Json::obj();
+        for r in StallReason::ALL {
+            stall_pki.set(r.name(), per_ki(self.stall.get(r)));
+        }
         let derived = Json::obj()
             .with("ipc", self.ipc())
             .with("branch_mpki", self.branch_mpki())
@@ -261,7 +535,14 @@ impl ToJson for SimStats {
             .with("avg_ftq_occupancy", self.avg_ftq_occupancy())
             .with("exposed_fraction", self.exposed_fraction())
             .with("btb_hit_rate", self.btb_hit_rate())
-            .with("pfc_harmful_rate", self.pfc_harmful_rate());
+            .with("pfc_harmful_rate", self.pfc_harmful_rate())
+            .with("stall_pki", stall_pki)
+            .with("frontend_bound_fraction", self.frontend_bound_fraction())
+            .with("pf_accuracy", self.pf_accuracy())
+            .with("pf_timeliness", self.pf_timeliness())
+            .with("pf_coverage", self.pf_coverage())
+            .with("fdp_accuracy", self.fdp_accuracy())
+            .with("fdp_timeliness", self.fdp_timeliness());
         Json::obj()
             .with("counters", counters)
             .with("derived", derived)
@@ -332,6 +613,66 @@ mod tests {
     }
 
     #[test]
+    fn stall_sum_covers_every_bucket() {
+        let mut s = StallCycles::default();
+        for (i, r) in StallReason::ALL.into_iter().enumerate() {
+            for _ in 0..=i {
+                s.charge(r);
+            }
+            assert_eq!(s.get(r), i as u64 + 1);
+            assert_eq!(r.name(), STALL_REASON_NAMES[r.index()]);
+        }
+        assert_eq!(s.sum(), (1..=8).sum::<u64>());
+        let d = s.sub(&s);
+        assert_eq!(d.sum(), 0);
+    }
+
+    #[test]
+    fn stall_and_outcome_blocks_survive_json() {
+        let mut s = sample();
+        s.stall.charge(StallReason::IcacheMiss);
+        s.stall.charge(StallReason::Committing);
+        s.l1i.outcomes_fdp.requests = 9;
+        s.l1i.outcomes_fdp.timely = 4;
+        s.l1i.outcomes_fdp.late = 2;
+        s.l1i.outcomes_fdp.useless_evicted = 3;
+        s.l1i.outcomes_pf.requests = 5;
+        s.l1i.outcomes_pf.dropped = 5;
+        let round = Json::parse(&s.to_json().to_string()).unwrap();
+        let stall = round.get("counters").and_then(|c| c.get("stall_cycles"));
+        let stall = stall.expect("stall_cycles block");
+        for name in STALL_REASON_NAMES {
+            assert!(stall.get(name).and_then(Json::as_u64).is_some(), "{name}");
+        }
+        assert_eq!(stall.get("icache_miss").and_then(Json::as_u64), Some(1));
+        let outcomes = round
+            .get("counters")
+            .and_then(|c| c.get("l1i"))
+            .and_then(|c| c.get("prefetch_outcomes"))
+            .expect("prefetch_outcomes block");
+        let fdp = outcomes.get("fdp").expect("fdp side");
+        assert_eq!(fdp.get("requests").and_then(Json::as_u64), Some(9));
+        assert_eq!(fdp.get("timely").and_then(Json::as_u64), Some(4));
+        let derived = round.get("derived").unwrap();
+        let acc = derived.get("fdp_accuracy").and_then(Json::as_f64).unwrap();
+        assert!((acc - 6.0 / 9.0).abs() < 1e-9, "{acc}");
+        let tml = derived
+            .get("fdp_timeliness")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((tml - 4.0 / 6.0).abs() < 1e-9, "{tml}");
+        assert!(derived
+            .get("stall_pki")
+            .and_then(|p| p.get("committing"))
+            .and_then(Json::as_f64)
+            .is_some());
+        assert!(derived
+            .get("frontend_bound_fraction")
+            .and_then(Json::as_f64)
+            .is_some());
+    }
+
+    #[test]
     fn pfc_harmful_rate_guards_zero_restreams() {
         let mut s = sample();
         assert_eq!(s.pfc_harmful_rate(), 0.0);
@@ -348,11 +689,15 @@ mod tests {
         b.retired += 1500;
         b.mispredicts += 7;
         b.l1i.tag_probes += 42;
+        b.stall.charge(StallReason::FtqEmpty);
+        b.l1i.outcomes_pf.late += 3;
         let d = b.delta(&a);
         assert_eq!(d.cycles, 500);
         assert_eq!(d.retired, 1500);
         assert_eq!(d.mispredicts, 7);
         assert_eq!(d.l1i.tag_probes, 42);
         assert_eq!(d.starvation_cycles, 0);
+        assert_eq!(d.stall.get(StallReason::FtqEmpty), 1);
+        assert_eq!(d.l1i.outcomes_pf.late, 3);
     }
 }

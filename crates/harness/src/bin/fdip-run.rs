@@ -18,7 +18,10 @@ use fdip_bpred::{GshareConfig, HistoryPolicy, TageConfig};
 use fdip_harness::{Runner, SuiteResult, WorkloadResult};
 use fdip_prefetch::PrefetcherKind;
 use fdip_program::workload;
-use fdip_sim::{run_workload_detailed, CoreConfig, DirectionConfig, SimStats};
+use fdip_sim::{
+    run_workload_detailed, run_workload_traced, CoreConfig, DirectionConfig, SimStats, StallReason,
+    STALL_REASON_NAMES,
+};
 use fdip_telemetry::RunManifest;
 use std::path::Path;
 use std::time::Instant;
@@ -27,7 +30,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: fdip-run [options]
   --workload <name>      workload from the suite (default server_a)
-  --list-workloads       print suite names and exit
+  --list-workloads       print suite names, families, and default
+                         warm-up/measured instruction counts, then exit
+  --trace <path>         write a Chrome trace_event JSON of the run
+                         (single --workload runs only; open in Perfetto)
+  --trace-limit <n>      event ring-buffer capacity for --trace
+                         (default 100000; oldest events drop first)
   --suite <quick|full>   run a whole suite instead of one workload
   --json <path>          write results.json (schema: docs/METRICS.md);
                          with no --workload/--suite, runs the quick suite.
@@ -113,6 +121,9 @@ fn main() {
     let mut instrs = env_u64("FDIP_INSTRS", 200_000);
     let mut warmup = env_u64("FDIP_WARMUP", 50_000);
     let mut cfg = CoreConfig::fdp();
+    let mut trace_path: Option<String> = None;
+    let mut trace_limit: usize = 100_000;
+    let mut list_workloads = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -125,12 +136,9 @@ fn main() {
                 let n = val().parse().unwrap_or_else(|_| usage());
                 fdip_exec::set_global_jobs(n);
             }
-            "--list-workloads" => {
-                for w in workload::suite() {
-                    println!("{} ({})", w.name, w.family);
-                }
-                return;
-            }
+            "--list-workloads" => list_workloads = true,
+            "--trace" => trace_path = Some(val()),
+            "--trace-limit" => trace_limit = val().parse().unwrap_or_else(|_| usage()),
             "--instrs" => instrs = val().parse().unwrap_or_else(|_| usage()),
             "--warmup" => warmup = val().parse().unwrap_or_else(|_| usage()),
             "--ftq" => cfg.ftq_entries = val().parse().unwrap_or_else(|_| usage()),
@@ -151,6 +159,22 @@ fn main() {
         }
     }
 
+    if list_workloads {
+        // Deferred past argument parsing so the listed warm-up/measured
+        // instruction counts reflect --instrs/--warmup/env overrides.
+        println!(
+            "{:<12} {:<8} {:>10} {:>10}",
+            "workload", "family", "warmup", "instrs"
+        );
+        for w in workload::suite() {
+            println!(
+                "{:<12} {:<8} {:>10} {:>10}",
+                w.name, w.family, warmup, instrs
+            );
+        }
+        return;
+    }
+
     // A whole-suite run: explicit --suite, or --json without a specific
     // workload (the CI-friendly "produce results.json" invocation).
     let suite_name = match suite_arg.as_deref() {
@@ -161,6 +185,10 @@ fn main() {
         None => None,
     };
     if let Some(sname) = suite_name {
+        if trace_path.is_some() {
+            eprintln!("error: --trace needs a single --workload run, not a suite");
+            std::process::exit(2);
+        }
         let workloads = if sname == "full" {
             workload::suite()
         } else {
@@ -212,7 +240,24 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let (s, dists) = run_workload_detailed(&cfg, &program, warmup, instrs);
+    let (s, dists) = match &trace_path {
+        Some(path) => {
+            let (s, dists, tracer) =
+                run_workload_traced(&cfg, &program, warmup, instrs, trace_limit);
+            let trace = tracer.to_chrome_trace(&STALL_REASON_NAMES);
+            if let Err(e) = std::fs::write(path, trace.to_string()) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote {path} ({} events, {} dropped)",
+                tracer.len(),
+                tracer.dropped()
+            );
+            (s, dists)
+        }
+        None => run_workload_detailed(&cfg, &program, warmup, instrs),
+    };
     if let Some(path) = &json_path {
         let mut manifest =
             RunManifest::new("fdip-run", &format!("workload:{name}"), warmup, instrs, 1);
@@ -263,6 +308,46 @@ fn print_stats(s: &SimStats) {
         s.l1i.prefetch_fills,
         s.l1i.useful_prefetches,
         s.l1i.prefetch_dropped
+    );
+    let pct = |r: StallReason| {
+        if s.cycles == 0 {
+            0.0
+        } else {
+            100.0 * s.stall.get(r) as f64 / s.cycles as f64
+        }
+    };
+    println!(
+        "cycle accounting     commit {:.1}% / backend {:.1}% / fetch-bw {:.1}% / i$-miss {:.1}%",
+        pct(StallReason::Committing),
+        pct(StallReason::Backend),
+        pct(StallReason::FetchBw),
+        pct(StallReason::IcacheMiss)
+    );
+    println!(
+        "                     ftq-empty {:.1}% / pred-lat {:.1}% / redirect {:.1}% / pfc {:.1}%",
+        pct(StallReason::FtqEmpty),
+        pct(StallReason::PredLatency),
+        pct(StallReason::Redirect),
+        pct(StallReason::PfcRestream)
+    );
+    println!(
+        "frontend-bound       {:>11.1}%",
+        100.0 * s.frontend_bound_fraction()
+    );
+    let o = &s.l1i.outcomes_pf;
+    println!(
+        "pf outcomes          timely {} / late {} / evicted {} / replaced {} / dropped {} (acc {:.2}, cov {:.2})",
+        o.timely, o.late, o.useless_evicted, o.useless_replaced, o.dropped,
+        s.pf_accuracy(), s.pf_coverage()
+    );
+    let o = &s.l1i.outcomes_fdp;
+    println!(
+        "fdp outcomes         timely {} / late {} / evicted {} / replaced {} (acc {:.2})",
+        o.timely,
+        o.late,
+        o.useless_evicted,
+        o.useless_replaced,
+        s.fdp_accuracy()
     );
     println!("BTB hit rate         {:>12.3}", s.btb_hit_rate());
     println!("DRAM accesses        {:>12}", s.traffic.dram_accesses);

@@ -5,6 +5,11 @@
 //! A missing line is filled immediately but marked *pending* until its
 //! ready cycle, so later accesses to an in-flight line merge onto the same
 //! fill (MSHR-style) instead of seeing an instant hit.
+//!
+//! Every fill carries a [`FillSrc`] so prefetched lines can be followed
+//! from installation to their first demand touch (or eviction) and
+//! classified into the [`PrefetchOutcomes`] taxonomy, separately for
+//! decoupled-frontend (FDP) fills and dedicated-prefetcher fills.
 
 use crate::table::FillMap;
 use fdip_types::Cycle;
@@ -32,6 +37,52 @@ impl CacheConfig {
     }
 }
 
+/// Who initiated a fill. Determines which [`PrefetchOutcomes`] bucket a
+/// line's fate is charged to.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum FillSrc {
+    /// A demand access (or a line already demand-touched).
+    #[default]
+    Demand,
+    /// A decoupled-frontend fill: an FTQ fill-pipeline probe that ran
+    /// ahead of the FTQ head (the fetch-directed prefetch itself).
+    Fdp,
+    /// A dedicated instruction prefetcher.
+    Pf,
+}
+
+/// Lifetime taxonomy for prefetched lines, kept per [`FillSrc`].
+///
+/// Every request eventually lands in exactly one of the outcome classes
+/// (or is still resident and untouched — the *unresolved* gauge), so
+/// `requests == timely + late + useless_evicted + useless_replaced +
+/// dropped + unresolved` holds at any instant.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct PrefetchOutcomes {
+    /// Prefetch requests attributed to this source.
+    pub requests: u64,
+    /// First demand touch arrived after the fill completed.
+    pub timely: u64,
+    /// First demand touch arrived while the fill was still in flight —
+    /// the prefetch hid part, but not all, of the miss.
+    pub late: u64,
+    /// Evicted untouched by a demand fill.
+    pub useless_evicted: u64,
+    /// Replaced untouched by another prefetch fill.
+    pub useless_replaced: u64,
+    /// Dropped before filling: line already present/in flight, or no
+    /// MSHR was free.
+    pub dropped: u64,
+}
+
+impl PrefetchOutcomes {
+    /// Sum of all resolved outcome classes (everything except the
+    /// still-resident *unresolved* lines).
+    pub fn resolved(&self) -> u64 {
+        self.timely + self.late + self.useless_evicted + self.useless_replaced + self.dropped
+    }
+}
+
 /// Per-cache event counters.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
@@ -55,14 +106,19 @@ pub struct CacheStats {
     pub tag_probes: u64,
     /// Lines evicted.
     pub evictions: u64,
+    /// Lifetime taxonomy of decoupled-frontend (FDP) fills.
+    pub outcomes_fdp: PrefetchOutcomes,
+    /// Lifetime taxonomy of dedicated-prefetcher fills.
+    pub outcomes_pf: PrefetchOutcomes,
 }
 
 #[derive(Copy, Clone, Debug)]
 struct Line {
     tag: u64,
     lru: u64,
-    /// Brought in by a prefetch and not yet referenced by demand.
-    prefetched: bool,
+    /// Who brought the line in; reset to [`FillSrc::Demand`] at the
+    /// first demand touch (resolving its prefetch outcome).
+    src: FillSrc,
 }
 
 /// Result of a cache probe.
@@ -82,13 +138,13 @@ pub enum Lookup {
 /// # Examples
 ///
 /// ```
-/// use fdip_mem::{Cache, CacheConfig, Lookup};
+/// use fdip_mem::{Cache, CacheConfig, FillSrc, Lookup};
 ///
 /// let mut c = Cache::new("L1I", CacheConfig {
 ///     size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, hit_latency: 1, mshrs: 8,
 /// });
 /// assert_eq!(c.probe_demand(42, 100), Lookup::Miss);
-/// c.fill(42, 180, false);
+/// c.fill(42, 180, FillSrc::Demand);
 /// assert_eq!(c.probe_demand(42, 200), Lookup::Hit(201));
 /// ```
 #[derive(Clone, Debug)]
@@ -99,6 +155,11 @@ pub struct Cache {
     /// line -> ready cycle, for in-flight fills.
     pending: FillMap,
     stamp: u64,
+    /// Source (and in-flight flag) of the prefetched line most recently
+    /// resolved by a demand probe, if any since the last
+    /// [`Cache::take_last_use`] — event-tracer hook, written only on the
+    /// rare resolving probe.
+    last_use: Option<(FillSrc, bool)>,
     stats: CacheStats,
 }
 
@@ -120,6 +181,7 @@ impl Cache {
             sets: vec![Vec::with_capacity(config.assoc); sets],
             pending: FillMap::new(),
             stamp: 0,
+            last_use: None,
             stats: CacheStats::default(),
         }
     }
@@ -154,14 +216,23 @@ impl Cache {
         Some(l)
     }
 
+    fn outcomes_mut(&mut self, src: FillSrc) -> &mut PrefetchOutcomes {
+        match src {
+            FillSrc::Fdp => &mut self.stats.outcomes_fdp,
+            FillSrc::Pf => &mut self.stats.outcomes_pf,
+            FillSrc::Demand => unreachable!("demand fills have no prefetch outcome"),
+        }
+    }
+
     /// Demand probe: updates LRU, counts stats, detects useful prefetches.
     pub fn probe_demand(&mut self, line: u64, now: Cycle) -> Lookup {
         self.stats.tag_probes += 1;
         self.stats.demand_accesses += 1;
+        let mut used: Option<FillSrc> = None;
         let hit = if let Some(l) = self.find(line, true) {
-            if l.prefetched {
-                l.prefetched = false;
-                self.stats.useful_prefetches += 1;
+            if l.src != FillSrc::Demand {
+                used = Some(l.src);
+                l.src = FillSrc::Demand;
             }
             true
         } else {
@@ -172,7 +243,21 @@ impl Cache {
             // One pending lookup answers both questions: a still-in-flight
             // fill merges the demand onto it; a completed fill releases
             // its MSHR and the hit proceeds at the normal latency.
-            match self.pending.get(line) {
+            let pending = self.pending.get(line);
+            if let Some(src) = used {
+                let in_flight = matches!(pending, Some(r) if r > now);
+                let o = self.outcomes_mut(src);
+                if in_flight {
+                    o.late += 1;
+                } else {
+                    o.timely += 1;
+                }
+                if src == FillSrc::Pf {
+                    self.stats.useful_prefetches += 1;
+                }
+                self.last_use = Some((src, in_flight));
+            }
+            match pending {
                 Some(r) if r > now => {
                     self.stats.demand_merged += 1;
                     Lookup::Hit(r)
@@ -187,6 +272,16 @@ impl Cache {
             self.stats.demand_misses += 1;
             Lookup::Miss
         }
+    }
+
+    /// Takes the source of the prefetched line the most recent
+    /// [`Cache::probe_demand`] resolved, plus whether its fill was still
+    /// in flight (a *late* use). `None` when no probe has resolved a
+    /// prefetched line since the last take — the event tracer consumes
+    /// this after each demand fetch, so the hot probe path only writes
+    /// the slot on the (rare) resolving probe.
+    pub fn take_last_use(&mut self) -> Option<(FillSrc, bool)> {
+        self.last_use.take()
     }
 
     /// Tag-only probe for prefetchers and fill filters: counts a tag
@@ -209,7 +304,9 @@ impl Cache {
     /// not already present or in flight).
     pub fn note_prefetch(&mut self, line: u64, now: Cycle) -> bool {
         self.stats.prefetch_requests += 1;
+        self.stats.outcomes_pf.requests += 1;
         if self.probe_tag(line) || self.pending.contains(line) {
+            self.stats.outcomes_pf.dropped += 1;
             return false;
         }
         if self.pending.len() >= self.config.mshrs {
@@ -218,16 +315,36 @@ impl Cache {
         }
         if self.pending.len() >= self.config.mshrs {
             self.stats.prefetch_dropped += 1;
+            self.stats.outcomes_pf.dropped += 1;
             return false;
         }
         self.stats.prefetch_fills += 1;
         true
     }
 
+    /// Accounts one decoupled-frontend fill initiation (an ahead-of-head
+    /// FTQ probe that missed). The matching [`Cache::fill`] must pass
+    /// [`FillSrc::Fdp`].
+    pub(crate) fn note_fdp_fill(&mut self) {
+        self.stats.outcomes_fdp.requests += 1;
+    }
+
+    /// Accounts one perfect-prefetcher ("instant") fill. Instant fills
+    /// skip the tag/MSHR gauntlet of [`Cache::note_prefetch`] but are
+    /// still prefetches: they count as a request and a fill so the
+    /// outcome invariant covers them.
+    pub(crate) fn note_instant_prefetch(&mut self) {
+        self.stats.prefetch_requests += 1;
+        self.stats.prefetch_fills += 1;
+        self.stats.outcomes_pf.requests += 1;
+    }
+
     /// Installs `line`, available at cycle `ready`, evicting LRU if the
-    /// set is full. `prefetched` marks prefetch-brought lines for
-    /// usefulness accounting.
-    pub fn fill(&mut self, line: u64, ready: Cycle, prefetched: bool) {
+    /// set is full. `src` records who brought the line in, for the
+    /// prefetch-lifetime taxonomy; a victim that was never demand-touched
+    /// resolves as `useless_evicted` (displaced by a demand fill) or
+    /// `useless_replaced` (displaced by another prefetch).
+    pub fn fill(&mut self, line: u64, ready: Cycle, src: FillSrc) {
         let set = self.set_index(line);
         self.stamp += 1;
         let stamp = self.stamp;
@@ -247,15 +364,37 @@ impl Cache {
             let victim = ways.swap_remove(victim_idx);
             self.pending.remove(victim.tag);
             self.stats.evictions += 1;
+            if victim.src != FillSrc::Demand {
+                let o = match victim.src {
+                    FillSrc::Fdp => &mut self.stats.outcomes_fdp,
+                    _ => &mut self.stats.outcomes_pf,
+                };
+                if src == FillSrc::Demand {
+                    o.useless_evicted += 1;
+                } else {
+                    o.useless_replaced += 1;
+                }
+            }
         }
         ways.push(Line {
             tag: line,
             lru: stamp,
-            prefetched,
+            src,
         });
         if ready > 0 {
             self.pending.insert(line, ready);
         }
+    }
+
+    /// Resident lines filled by `src` and not yet demand-touched — the
+    /// *unresolved* remainder of the outcome invariant. O(capacity);
+    /// intended for tests and end-of-run checks, not the hot path.
+    pub fn unresolved_prefetches(&self, src: FillSrc) -> u64 {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.src == src)
+            .count() as u64
     }
 
     /// Number of in-flight fills.
@@ -286,11 +425,24 @@ mod tests {
         )
     }
 
+    fn outcome_invariant(c: &Cache, src: FillSrc) {
+        let (o, requests) = match src {
+            FillSrc::Pf => (c.stats().outcomes_pf, c.stats().outcomes_pf.requests),
+            FillSrc::Fdp => (c.stats().outcomes_fdp, c.stats().outcomes_fdp.requests),
+            FillSrc::Demand => unreachable!(),
+        };
+        assert_eq!(
+            o.resolved() + c.unresolved_prefetches(src),
+            requests,
+            "outcome invariant violated for {src:?}: {o:?}"
+        );
+    }
+
     #[test]
     fn miss_fill_hit() {
         let mut c = small();
         assert_eq!(c.probe_demand(5, 10), Lookup::Miss);
-        c.fill(5, 50, false);
+        c.fill(5, 50, FillSrc::Demand);
         // Before ready: merged hit at the fill's ready time.
         assert_eq!(c.probe_demand(5, 20), Lookup::Hit(50));
         // After ready: normal hit latency.
@@ -305,10 +457,10 @@ mod tests {
     fn lru_eviction() {
         let mut c = small(); // 8 sets, 2 ways
                              // Three lines mapping to set 0 (multiples of 8).
-        c.fill(0, 0, false);
-        c.fill(8, 0, false);
+        c.fill(0, 0, FillSrc::Demand);
+        c.fill(8, 0, FillSrc::Demand);
         c.probe_demand(0, 1); // touch line 0 so line 8 is LRU
-        c.fill(16, 0, false);
+        c.fill(16, 0, FillSrc::Demand);
         assert!(c.contains(0));
         assert!(!c.contains(8));
         assert!(c.contains(16));
@@ -319,22 +471,77 @@ mod tests {
     fn prefetch_usefulness_tracked() {
         let mut c = small();
         assert!(c.note_prefetch(3, 0));
-        c.fill(3, 30, true);
+        c.fill(3, 30, FillSrc::Pf);
         assert_eq!(c.probe_demand(3, 40), Lookup::Hit(42));
         assert_eq!(c.stats().useful_prefetches, 1);
+        assert_eq!(c.stats().outcomes_pf.timely, 1);
+        assert_eq!(c.take_last_use(), Some((FillSrc::Pf, false)));
         // Second demand hit is no longer "useful".
         c.probe_demand(3, 50);
         assert_eq!(c.stats().useful_prefetches, 1);
+        assert_eq!(c.stats().outcomes_pf.timely, 1);
+        assert_eq!(c.take_last_use(), None);
+        outcome_invariant(&c, FillSrc::Pf);
+    }
+
+    #[test]
+    fn late_prefetch_counts_as_late_not_timely() {
+        let mut c = small();
+        assert!(c.note_prefetch(3, 0));
+        c.fill(3, 30, FillSrc::Pf);
+        // Demand arrives at cycle 10, fill completes at 30: late.
+        assert_eq!(c.probe_demand(3, 10), Lookup::Hit(30));
+        let o = c.stats().outcomes_pf;
+        assert_eq!((o.timely, o.late), (0, 1));
+        // Late uses still count toward usefulness (the line was wanted).
+        assert_eq!(c.stats().useful_prefetches, 1);
+        assert_eq!(c.take_last_use(), Some((FillSrc::Pf, true)));
+        outcome_invariant(&c, FillSrc::Pf);
+    }
+
+    #[test]
+    fn untouched_prefetch_eviction_is_classified_by_displacer() {
+        let mut c = small(); // 8 sets, 2 ways; lines ≡ 0 (mod 8) share set 0
+        assert!(c.note_prefetch(0, 0));
+        c.fill(0, 0, FillSrc::Pf);
+        assert!(c.note_prefetch(8, 1));
+        c.fill(8, 0, FillSrc::Pf);
+        // A demand fill displaces line 0 (the LRU): useless_evicted.
+        c.fill(16, 0, FillSrc::Demand);
+        assert_eq!(c.stats().outcomes_pf.useless_evicted, 1);
+        // Another prefetch displaces line 8: useless_replaced.
+        assert!(c.note_prefetch(24, 2));
+        c.fill(24, 0, FillSrc::Pf);
+        assert_eq!(c.stats().outcomes_pf.useless_replaced, 1);
+        outcome_invariant(&c, FillSrc::Pf);
+    }
+
+    #[test]
+    fn fdp_fills_resolve_into_their_own_bucket() {
+        let mut c = small();
+        c.note_fdp_fill();
+        c.fill(5, 40, FillSrc::Fdp);
+        assert_eq!(c.probe_demand(5, 100), Lookup::Hit(102));
+        let s = c.stats();
+        assert_eq!(s.outcomes_fdp.timely, 1);
+        // FDP fills are not dedicated-prefetcher fills: the legacy
+        // usefulness counter must not move.
+        assert_eq!(s.useful_prefetches, 0);
+        assert_eq!(s.outcomes_pf.requests, 0);
+        outcome_invariant(&c, FillSrc::Fdp);
     }
 
     #[test]
     fn redundant_prefetch_is_filtered_but_probes_tags() {
         let mut c = small();
-        c.fill(7, 0, false);
+        c.fill(7, 0, FillSrc::Demand);
         let before = c.stats().tag_probes;
         assert!(!c.note_prefetch(7, 0));
         assert_eq!(c.stats().tag_probes, before + 1);
         assert_eq!(c.stats().prefetch_fills, 0);
+        // Redundant requests resolve immediately as dropped.
+        assert_eq!(c.stats().outcomes_pf.dropped, 1);
+        outcome_invariant(&c, FillSrc::Pf);
     }
 
     #[test]
@@ -342,34 +549,38 @@ mod tests {
         let mut c = small(); // mshrs = 4
         for line in 0..4 {
             assert!(c.note_prefetch(line, 0));
-            c.fill(line, 1000, true);
+            c.fill(line, 1000, FillSrc::Pf);
         }
         assert_eq!(c.inflight(), 4);
         // At cycle 10 the fills are still in flight: dropped.
         assert!(!c.note_prefetch(100, 10));
         assert_eq!(c.stats().prefetch_dropped, 1);
-        // Once the fills complete, MSHRs free up again.
+        assert_eq!(c.stats().outcomes_pf.dropped, 1);
+        // Once the fills complete, MSHRs free up again. (The invariant
+        // requires the fill a `true` return promises.)
         assert!(c.note_prefetch(100, 2_000));
+        c.fill(100, 2_100, FillSrc::Pf);
+        outcome_invariant(&c, FillSrc::Pf);
     }
 
     #[test]
     fn demand_ignores_mshr_limit() {
         let mut c = small();
         for line in 0..4 {
-            c.fill(line, 1000, false);
+            c.fill(line, 1000, FillSrc::Demand);
         }
         // Demand probes still work and fills still accepted.
         assert_eq!(c.probe_demand(50, 10), Lookup::Miss);
-        c.fill(50, 500, false);
+        c.fill(50, 500, FillSrc::Demand);
         assert_eq!(c.probe_demand(50, 20), Lookup::Hit(500));
     }
 
     #[test]
     fn eviction_clears_pending() {
         let mut c = small();
-        c.fill(0, 100, false);
-        c.fill(8, 100, false);
-        c.fill(16, 100, false); // evicts one of the set-0 lines
+        c.fill(0, 100, FillSrc::Demand);
+        c.fill(8, 100, FillSrc::Demand);
+        c.fill(16, 100, FillSrc::Demand); // evicts one of the set-0 lines
         assert!(c.inflight() <= 2);
     }
 
@@ -377,8 +588,8 @@ mod tests {
     fn occupancy_counts() {
         let mut c = small();
         assert_eq!(c.occupancy(), 0);
-        c.fill(1, 0, false);
-        c.fill(2, 0, false);
+        c.fill(1, 0, FillSrc::Demand);
+        c.fill(2, 0, FillSrc::Demand);
         assert_eq!(c.occupancy(), 2);
     }
 

@@ -4,7 +4,7 @@
 //! configuration the paper uses (§V, Table IV): 32KB L1I, 48KB L1D,
 //! 512KB L2, 2MB LLC, ~200-cycle DRAM.
 
-use crate::cache::{Cache, CacheConfig, CacheStats, Lookup};
+use crate::cache::{Cache, CacheConfig, CacheStats, FillSrc, Lookup};
 use fdip_types::Cycle;
 
 /// Hierarchy-wide configuration.
@@ -149,11 +149,11 @@ impl Hierarchy {
                     Lookup::Miss => {
                         let r = at_llc + self.config.llc.hit_latency + self.config.dram_latency;
                         self.traffic.dram_accesses += 1;
-                        self.llc.fill(line, r, false);
+                        self.llc.fill(line, r, FillSrc::Demand);
                         r
                     }
                 };
-                self.l2.fill(line, ready, false);
+                self.l2.fill(line, ready, FillSrc::Demand);
                 ready
             }
         }
@@ -161,16 +161,46 @@ impl Hierarchy {
 
     /// Demand instruction fetch of a line. Returns the data-ready cycle.
     pub fn fetch_instr_line(&mut self, line: u64, now: Cycle) -> Cycle {
+        self.fetch_instr_line_decoupled(line, now, false)
+    }
+
+    /// Instruction fetch from the FTQ fill pipeline. `ahead` marks
+    /// probes issued while the entry was *not yet* the FTQ head — on a
+    /// miss those install the line as an [`FillSrc::Fdp`] fill, so the
+    /// fetch-directed prefetch itself is tracked in the prefetch-outcome
+    /// taxonomy (head probes are plain demand). Returns the data-ready
+    /// cycle.
+    pub fn fetch_instr_line_decoupled(&mut self, line: u64, now: Cycle, ahead: bool) -> Cycle {
         let ready = match self.l1i.probe_demand(line, now) {
             Lookup::Hit(r) => r,
             Lookup::Miss => {
                 let r = self.fetch_from_l2(line, now + self.config.l1i.hit_latency);
-                self.l1i.fill(line, r, false);
+                let src = if ahead {
+                    self.l1i.note_fdp_fill();
+                    FillSrc::Fdp
+                } else {
+                    FillSrc::Demand
+                };
+                self.l1i.fill(line, r, src);
                 r
             }
         };
         self.traffic.ifetch_wait_cycles += ready - now;
         ready
+    }
+
+    /// Takes the source of the prefetched line the most recent
+    /// instruction fetch resolved, plus whether its fill was still in
+    /// flight (event-tracer hook; see [`Cache::take_last_use`]).
+    pub fn take_last_instr_use(&mut self) -> Option<(FillSrc, bool)> {
+        self.l1i.take_last_use()
+    }
+
+    /// Resident L1I lines filled by `src` and never demand-touched —
+    /// the *unresolved* remainder of the prefetch-outcome invariant.
+    /// O(capacity); for tests and end-of-run checks.
+    pub fn l1i_unresolved_prefetches(&self, src: FillSrc) -> u64 {
+        self.l1i.unresolved_prefetches(src)
     }
 
     /// Tag-only L1I probe (the FTQ fill pipeline and prefetch filters use
@@ -195,7 +225,7 @@ impl Hierarchy {
         }
         self.traffic.prefetch_traffic += 1;
         let ready = self.fetch_from_l2(line, now + self.config.l1i.hit_latency);
-        self.l1i.fill(line, ready, true);
+        self.l1i.fill(line, ready, FillSrc::Pf);
         true
     }
 
@@ -206,9 +236,10 @@ impl Hierarchy {
         if self.l1i.contains(line) {
             return;
         }
+        self.l1i.note_instant_prefetch();
         self.traffic.prefetch_traffic += 1;
         let _ = self.fetch_from_l2(line, now);
-        self.l1i.fill(line, now, true);
+        self.l1i.fill(line, now, FillSrc::Pf);
     }
 
     /// Pre-installs instruction lines into the LLC (used to model the
@@ -216,7 +247,7 @@ impl Hierarchy {
     /// is LLC-resident; DESIGN.md §2).
     pub fn prewarm_llc_instr(&mut self, lines: impl Iterator<Item = u64>) {
         for line in lines {
-            self.llc.fill(line, 0, false);
+            self.llc.fill(line, 0, FillSrc::Demand);
         }
     }
 
@@ -227,7 +258,7 @@ impl Hierarchy {
             Lookup::Hit(r) => r,
             Lookup::Miss => {
                 let ready = self.fetch_from_l2(line, now + self.config.l1d.hit_latency);
-                self.l1d.fill(line, ready, false);
+                self.l1d.fill(line, ready, FillSrc::Demand);
                 ready
             }
         }
@@ -302,6 +333,43 @@ mod tests {
         assert_eq!(m.fetch_instr_line(55, 11), 12);
         assert_eq!(m.traffic().prefetch_traffic, 1);
         assert_eq!(m.traffic().dram_accesses, 1);
+        // Instant fills join the prefetch-outcome taxonomy too.
+        let s = m.l1i_stats();
+        assert_eq!(s.prefetch_requests, 1);
+        assert_eq!(s.outcomes_pf.requests, 1);
+        assert_eq!(s.outcomes_pf.timely, 1);
+    }
+
+    #[test]
+    fn ahead_probe_installs_an_fdp_tracked_fill() {
+        let mut m = mem();
+        // A fill-pipeline probe ahead of the FTQ head misses: the line
+        // installs as an FDP fill and stays unresolved until touched.
+        let ready = m.fetch_instr_line_decoupled(500, 0, true);
+        assert!(ready > 0);
+        let s = m.l1i_stats();
+        assert_eq!(s.outcomes_fdp.requests, 1);
+        assert_eq!(m.l1i_unresolved_prefetches(FillSrc::Fdp), 1);
+        // The head fetch after the fill completes resolves it as timely.
+        m.fetch_instr_line(500, ready + 10);
+        let o = m.l1i_stats().outcomes_fdp;
+        assert_eq!((o.timely, o.late), (1, 0));
+        assert_eq!(m.l1i_unresolved_prefetches(FillSrc::Fdp), 0);
+        assert_eq!(m.take_last_instr_use(), Some((FillSrc::Fdp, false)));
+        // FDP fills never touch the dedicated-prefetcher usefulness
+        // counter.
+        assert_eq!(m.l1i_stats().useful_prefetches, 0);
+    }
+
+    #[test]
+    fn head_probe_that_arrives_during_fdp_fill_is_late() {
+        let mut m = mem();
+        let ready = m.fetch_instr_line_decoupled(501, 0, true);
+        // Demand arrives before the fill completes: late FDP fill.
+        m.fetch_instr_line(501, ready - 1);
+        let o = m.l1i_stats().outcomes_fdp;
+        assert_eq!((o.timely, o.late), (0, 1));
+        assert_eq!(m.take_last_instr_use(), Some((FillSrc::Fdp, true)));
     }
 
     #[test]

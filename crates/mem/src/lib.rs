@@ -24,5 +24,5 @@ mod cache;
 mod hierarchy;
 mod table;
 
-pub use cache::{Cache, CacheConfig, CacheStats, Lookup};
+pub use cache::{Cache, CacheConfig, CacheStats, FillSrc, Lookup, PrefetchOutcomes};
 pub use hierarchy::{Hierarchy, HierarchyConfig, TrafficStats};

@@ -1,0 +1,111 @@
+//! Property tests for the prefetch-lifetime taxonomy: every prefetch
+//! request must end up in exactly one outcome bucket. Because lines can
+//! still be resident and untouched when the run stops, the invariant is
+//!
+//! `resolved outcomes + unresolved resident lines == requests`
+//!
+//! per fill source, under arbitrary interleavings of demand traffic and
+//! prefetches.
+
+use fdip_mem::{Cache, CacheConfig, FillSrc, Hierarchy, HierarchyConfig, Lookup};
+use proptest::prelude::*;
+
+fn small_cache() -> Cache {
+    Cache::new(
+        "P",
+        CacheConfig {
+            size_bytes: 2048,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+            mshrs: 4,
+        },
+    )
+}
+
+fn assert_invariant(c: &Cache, src: FillSrc) {
+    let s = c.stats();
+    let o = match src {
+        FillSrc::Fdp => s.outcomes_fdp,
+        FillSrc::Pf => s.outcomes_pf,
+        FillSrc::Demand => unreachable!("demand fills have no outcome bucket"),
+    };
+    assert_eq!(
+        o.resolved() + c.unresolved_prefetches(src),
+        o.requests,
+        "{src:?}: outcomes {o:?} must partition the requests"
+    );
+}
+
+proptest! {
+    /// Cache level: arbitrary mixes of demand probes (with and without
+    /// the follow-up fill) and prefetches keep the per-source ledger
+    /// balanced after every single operation.
+    #[test]
+    fn cache_outcomes_partition_requests(
+        ops in prop::collection::vec((0u64..48, 0u8..3, 1u64..24, 0u64..8), 1..400),
+    ) {
+        let mut c = small_cache();
+        let mut now = 0u64;
+        for (line, kind, latency, step) in ops {
+            now += step;
+            match kind {
+                // Demand access, modelling the hierarchy: a miss is
+                // always followed by a demand fill.
+                0 => {
+                    if c.probe_demand(line, now) == Lookup::Miss {
+                        c.fill(line, now + latency, FillSrc::Demand);
+                    }
+                }
+                // Prefetch: a `true` from note_prefetch promises a fill.
+                1 => {
+                    if c.note_prefetch(line, now) {
+                        c.fill(line, now + latency, FillSrc::Pf);
+                    }
+                }
+                // Tag-only probe: no state change in the ledger.
+                _ => {
+                    c.probe_tag(line);
+                }
+            }
+            assert_invariant(&c, FillSrc::Pf);
+        }
+        let s = c.stats();
+        // Taxonomy and the legacy useful counter must agree.
+        prop_assert_eq!(s.outcomes_pf.timely + s.outcomes_pf.late, s.useful_prefetches);
+    }
+
+    /// Hierarchy level: the decoupled fetch path (FDP fills) and the
+    /// dedicated-prefetcher path each balance their own ledger.
+    #[test]
+    fn hierarchy_outcomes_partition_requests(
+        ops in prop::collection::vec((0u64..64, 0u8..3, 0u64..6), 1..300),
+    ) {
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        let mut now = 0u64;
+        for (line, kind, step) in ops {
+            now += step;
+            match kind {
+                0 => {
+                    mem.fetch_instr_line_decoupled(line, now, false);
+                }
+                // Ahead-of-head FTQ probe: a miss installs an FDP fill.
+                1 => {
+                    mem.fetch_instr_line_decoupled(line, now, true);
+                }
+                _ => {
+                    mem.prefetch_instr_line(line, now);
+                }
+            }
+            let s = mem.l1i_stats();
+            prop_assert_eq!(
+                s.outcomes_fdp.resolved() + mem.l1i_unresolved_prefetches(FillSrc::Fdp),
+                s.outcomes_fdp.requests
+            );
+            prop_assert_eq!(
+                s.outcomes_pf.resolved() + mem.l1i_unresolved_prefetches(FillSrc::Pf),
+                s.outcomes_pf.requests
+            );
+        }
+    }
+}

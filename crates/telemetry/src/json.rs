@@ -480,12 +480,27 @@ impl Parser<'_> {
                     }
                 }
                 _ => {
-                    // Continue a UTF-8 sequence: step back and take the
-                    // whole char from the source slice.
+                    // Continue a UTF-8 sequence: step back and decode one
+                    // char from a 4-byte window (a UTF-8 sequence is at
+                    // most 4 bytes; validating the whole remaining input
+                    // per character would be quadratic in document size).
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
+                    let end = self.bytes.len().min(start + 4);
+                    let window = &self.bytes[start..end];
+                    let c = match std::str::from_utf8(window) {
+                        Ok(s) => s.chars().next().expect("non-empty"),
+                        // A later char in the window may be cut off by
+                        // the window edge; the valid prefix still holds
+                        // the char we want.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .expect("non-empty")
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    };
                     out.push(c);
                     self.pos = start + c.len_utf8();
                 }
@@ -598,6 +613,16 @@ mod tests {
             Json::parse("\"\\u00fc\\ud83d\\ude80\"").unwrap(),
             Json::Str("ü🚀".into())
         );
+    }
+
+    #[test]
+    fn multibyte_chars_at_input_edges_parse() {
+        // A 4-byte char right before the closing quote exercises the
+        // bounded decode window at the end of the document.
+        for s in ["🚀", "aé", "🚀🚀", "x\u{10FFFF}"] {
+            let doc = format!("\"{s}\"");
+            assert_eq!(Json::parse(&doc).unwrap(), Json::Str(s.into()), "{s}");
+        }
     }
 
     #[test]

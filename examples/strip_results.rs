@@ -39,5 +39,20 @@ fn main() {
             }
         }
     }
+    // The observability blocks are load-bearing for downstream diffing:
+    // refuse to emit a document that lost them.
+    for w in doc.get("workloads").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = w.get("name").and_then(Json::as_str).unwrap_or("?");
+        let counters = w.get("counters");
+        let has_stalls = counters.and_then(|c| c.get("stall_cycles")).is_some();
+        let has_outcomes = counters
+            .and_then(|c| c.get("l1i"))
+            .and_then(|c| c.get("prefetch_outcomes"))
+            .is_some();
+        if !has_stalls || !has_outcomes {
+            eprintln!("error: workload {name} lost its stall_cycles/prefetch_outcomes blocks");
+            std::process::exit(1);
+        }
+    }
     println!("{}", doc.to_string_pretty());
 }

@@ -33,6 +33,28 @@ done
 diff -u "$tmp/j1.stripped.json" "$tmp/j2.stripped.json"
 echo "    identical results at 1 and 2 workers"
 
+echo "==> trace smoke: --trace emits a valid Chrome trace"
+# A short traced run must produce a trace_event document the in-repo
+# JSON parser accepts, with nonzero event counts and cycle-monotonic
+# timestamps (checked by examples/check_trace.rs).
+./target/release/fdip-run --workload server_a --warmup 2000 --instrs 10000 \
+  --trace "$tmp/trace.json" --trace-limit 20000 > /dev/null
+cargo run -q --release --offline --example check_trace -- "$tmp/trace.json" \
+  | tail -n 1
+# Tracing must not perturb results: a traced run's stripped results.json
+# is byte-identical to an untraced one.
+FDIP_WARMUP=2000 FDIP_INSTRS=10000 ./target/release/fdip-run \
+  --workload server_a --json "$tmp/untraced.json" > /dev/null
+FDIP_WARMUP=2000 FDIP_INSTRS=10000 ./target/release/fdip-run \
+  --workload server_a --json "$tmp/traced.json" \
+  --trace "$tmp/trace2.json" > /dev/null
+for f in untraced traced; do
+  cargo run -q --release --offline --example strip_results -- \
+    "$tmp/$f.json" > "$tmp/$f.stripped.json"
+done
+diff -u "$tmp/untraced.stripped.json" "$tmp/traced.stripped.json"
+echo "    tracing leaves results byte-identical"
+
 echo "==> bench smoke: fdip-bench emits a valid document"
 ./target/release/fdip-bench --instrs 2000 --iters 1 --json "$tmp/bench.json" \
   > /dev/null

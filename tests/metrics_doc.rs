@@ -137,7 +137,89 @@ fn documented_derived_metrics_exist_in_emitted_json() {
         "exposed_fraction",
         "btb_hit_rate",
         "pfc_harmful_rate",
+        "stall_pki",
+        "frontend_bound_fraction",
+        "pf_accuracy",
+        "pf_timeliness",
+        "pf_coverage",
+        "fdp_accuracy",
+        "fdp_timeliness",
     ] {
         assert!(derived.get(name).is_some(), "derived metric {name} missing");
     }
+}
+
+#[test]
+fn documented_observability_counters_exist_in_emitted_json() {
+    // Reverse direction for the new counter groups: every stall bucket
+    // and outcome field the doc tabulates must be emitted, under both
+    // the counters block and the per-KI derived block.
+    let runner = Runner::quick(500, 3_000);
+    let suite = runner.run_suite(&CoreConfig::fdp(), "metrics-doc-test");
+    let emitted = suite.to_json();
+    let wl = &emitted.get("workloads").and_then(Json::as_arr).unwrap()[0];
+    let counters = wl.get("counters").expect("counters block");
+    let stall = counters.get("stall_cycles").expect("stall_cycles block");
+    let stall_pki = wl
+        .get("derived")
+        .and_then(|d| d.get("stall_pki"))
+        .expect("stall_pki block");
+    for name in fdip_sim::STALL_REASON_NAMES {
+        assert!(stall.get(name).is_some(), "stall bucket {name} missing");
+        assert!(stall_pki.get(name).is_some(), "stall_pki {name} missing");
+    }
+    let outcomes = counters
+        .get("l1i")
+        .and_then(|c| c.get("prefetch_outcomes"))
+        .expect("prefetch_outcomes block");
+    for src in ["fdp", "pf"] {
+        let o = outcomes.get(src).expect("outcome source");
+        for name in [
+            "requests",
+            "timely",
+            "late",
+            "useless_evicted",
+            "useless_replaced",
+            "dropped",
+        ] {
+            assert!(o.get(name).is_some(), "outcome {src}.{name} missing");
+        }
+    }
+}
+
+#[test]
+fn documented_trace_fields_exist_in_exported_trace() {
+    // Document 4: a real traced run must emit the documented top-level
+    // fields and both named tracks.
+    use fdip_program::workload;
+    let program = workload::quick_suite()[0].build();
+    let (_, _, tracer) =
+        fdip_sim::run_workload_traced(&CoreConfig::fdp(), &program, 500, 3_000, 10_000);
+    let trace = tracer.to_chrome_trace(&fdip_sim::STALL_REASON_NAMES);
+    for name in ["traceEvents", "displayTimeUnit", "metadata"] {
+        assert!(trace.get(name).is_some(), "trace field {name} missing");
+    }
+    let meta = trace.get("metadata").unwrap();
+    for name in ["tool", "clock", "dropped_events", "ring_capacity"] {
+        assert!(meta.get(name).is_some(), "trace metadata {name} missing");
+    }
+    let events = trace.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let mut names = BTreeSet::new();
+    for e in events {
+        names.insert(e.get("name").and_then(Json::as_str).unwrap().to_string());
+    }
+    assert!(
+        names.contains("FtqEnqueue"),
+        "no FtqEnqueue events: {names:?}"
+    );
+    // The run mispredicts, so cycle attribution must include slices
+    // beyond plain committing.
+    assert!(
+        fdip_sim::STALL_REASON_NAMES
+            .iter()
+            .filter(|n| names.contains(**n))
+            .count()
+            >= 2,
+        "too few stall slice kinds: {names:?}"
+    );
 }

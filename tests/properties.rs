@@ -3,7 +3,7 @@
 
 use fdip_bpred::{Btb, BtbConfig, FoldPlan, GlobalHistory, Ras};
 use fdip_harness::geomean;
-use fdip_mem::{Cache, CacheConfig, Lookup};
+use fdip_mem::{Cache, CacheConfig, FillSrc, Lookup};
 use fdip_program::{ExecutionEngine, ProgramBuilder, ProgramParams};
 use fdip_sim::{Ftq, FtqEntry};
 use fdip_types::{Addr, BranchKind};
@@ -102,7 +102,7 @@ proptest! {
             let now = t as u64 * 10;
             match c.probe_demand(line, now) {
                 Lookup::Hit(ready) => prop_assert!(ready >= now),
-                Lookup::Miss => c.fill(line, now + 5, false),
+                Lookup::Miss => c.fill(line, now + 5, FillSrc::Demand),
             }
             // Immediately after a fill/probe the line is present.
             prop_assert!(c.contains(line));

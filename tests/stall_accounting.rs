@@ -1,0 +1,74 @@
+//! The frontend cycle-accounting invariant, verified end to end: over
+//! any measurement interval, the eight stall buckets partition the
+//! cycles exactly — `sum(stall_cycles.*) == cycles` — for every
+//! quick-suite workload under the frontier configurations (FDP with and
+//! without PFC, no-FDP baseline, perfect BTB, and a dedicated
+//! prefetcher).
+
+use fdip_prefetch::PrefetcherKind;
+use fdip_program::workload;
+use fdip_sim::{run_workload, CoreConfig, StallReason};
+
+fn configs() -> Vec<(&'static str, CoreConfig)> {
+    let mut no_pfc = CoreConfig::fdp();
+    no_pfc.pfc = false;
+    let mut perfect_btb = CoreConfig::fdp();
+    perfect_btb.perfect_btb = true;
+    let mut fnlmma = CoreConfig::fdp();
+    fnlmma.prefetcher = PrefetcherKind::FnlMma;
+    vec![
+        ("fdp", CoreConfig::fdp()),
+        ("fdp_no_pfc", no_pfc),
+        ("no_fdp", CoreConfig::no_fdp()),
+        ("perfect_btb", perfect_btb),
+        ("fnlmma", fnlmma),
+    ]
+}
+
+#[test]
+fn stall_buckets_partition_cycles_across_quick_suite() {
+    for wl in workload::quick_suite() {
+        let program = wl.build();
+        for (cname, cfg) in configs() {
+            let s = run_workload(&cfg, &program, 10_000, 40_000);
+            assert_eq!(
+                s.stall.sum(),
+                s.cycles,
+                "{}/{cname}: buckets {:?} must sum to the cycle count",
+                wl.name,
+                s.stall
+            );
+            assert!(s.cycles > 0, "{}/{cname}: empty interval", wl.name);
+            // The accounting must not be degenerate: a real run commits
+            // on some cycles and stalls on others.
+            assert!(
+                s.stall.get(StallReason::Committing) > 0,
+                "{}/{cname}: no committing cycles",
+                wl.name
+            );
+            assert!(
+                s.stall.get(StallReason::Committing) < s.cycles,
+                "{}/{cname}: accounting claims zero stalls",
+                wl.name
+            );
+            let fb = s.frontend_bound_fraction();
+            assert!(
+                (0.0..=1.0).contains(&fb),
+                "{}/{cname}: frontend_bound_fraction {fb} out of range",
+                wl.name
+            );
+        }
+    }
+}
+
+#[test]
+fn redirect_cycles_appear_when_mispredictions_flush() {
+    let program = workload::quick_suite()[0].build();
+    let s = run_workload(&CoreConfig::fdp(), &program, 10_000, 40_000);
+    assert!(s.mispredicts > 0, "expected mispredictions in server_a");
+    assert!(
+        s.stall.get(StallReason::Redirect) > 0,
+        "flushes must charge redirect cycles: {:?}",
+        s.stall
+    );
+}
