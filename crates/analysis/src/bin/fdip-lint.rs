@@ -1,0 +1,131 @@
+//! `fdip-lint` — run the workspace static-analysis passes.
+//!
+//! ```text
+//! fdip-lint [--root <dir>] [--allowlist <path>] [--json <path>]
+//!           [--deny] [--notes] [--list-passes]
+//! ```
+//!
+//! Prints one `file:line:col: [pass] severity: message` line per finding
+//! (notes only with `--notes`), a summary, and optionally the versioned
+//! `lint.json` document (Document 5 of `docs/METRICS.md`). With
+//! `--deny`, exits non-zero when any error/warn finding lacks an
+//! allowlist justification — the `scripts/verify.sh` gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fdip_analysis::allow::Allowlist;
+use fdip_analysis::report::Severity;
+use fdip_analysis::{lint_workspace, passes, ALLOWLIST_PATH};
+
+struct Args {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    json: Option<PathBuf>,
+    deny: bool,
+    notes: bool,
+    list_passes: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        allowlist: None,
+        json: None,
+        deny: false,
+        notes: false,
+        list_passes: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a path")?),
+            "--allowlist" => {
+                args.allowlist = Some(PathBuf::from(it.next().ok_or("--allowlist needs a path")?))
+            }
+            "--json" => args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?)),
+            "--deny" => args.deny = true,
+            "--notes" => args.notes = true,
+            "--list-passes" => args.list_passes = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: fdip-lint [--root <dir>] [--allowlist <path>] [--json <path>] \
+                     [--deny] [--notes] [--list-passes]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fdip-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list_passes {
+        for p in passes::registry() {
+            println!("{:14} {}", p.id, p.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let allow_path = args
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| args.root.join(ALLOWLIST_PATH));
+    let allow_text = match std::fs::read_to_string(&allow_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            eprintln!("fdip-lint: reading {}: {e}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut allowlist = match Allowlist::parse(&allow_text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fdip-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match lint_workspace(&args.root, &mut allowlist) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fdip-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &outcome.findings {
+        if f.severity == Severity::Note && !args.notes {
+            continue;
+        }
+        println!("{}", f.render());
+    }
+    let denied = outcome.denied().count();
+    println!(
+        "fdip-lint: {} files, {} errors, {} warnings, {} notes, {} allowlisted, {} denied",
+        outcome.files_scanned,
+        outcome.count(Severity::Error),
+        outcome.count(Severity::Warn),
+        outcome.count(Severity::Note),
+        outcome.allowlisted(),
+        denied
+    );
+    if let Some(path) = &args.json {
+        let doc = outcome.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(path, doc + "\n") {
+            eprintln!("fdip-lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.deny && denied > 0 {
+        eprintln!("fdip-lint: {denied} finding(s) denied (not allowlisted) — failing --deny");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

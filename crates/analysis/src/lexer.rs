@@ -1,0 +1,668 @@
+//! A minimal Rust lexer: comments, strings, char-vs-lifetime, idents,
+//! numbers, punctuation — deliberately *not* a parser.
+//!
+//! The lint passes only need a faithful token stream: a `HashMap` inside
+//! a doc comment or a string literal must not be flagged, a `"key"` after
+//! `.with(` must be recoverable, and `#[cfg(test)]` regions must be
+//! maskable. Everything beyond that (expressions, types, items) stays
+//! out of scope, which keeps the lexer a few hundred lines and the whole
+//! crate dependency-free like the rest of the workspace.
+//!
+//! Positions are 1-based line/column pairs counted in characters, so a
+//! diagnostic `file:line:col` lands where an editor expects it.
+
+/// Kind of a lexed token.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unsafe`, …).
+    Ident,
+    /// A single punctuation character (`{`, `:`, `#`, …).
+    Punct,
+    /// String literal — normal, raw, or byte; `text` holds the body
+    /// between the quotes, escapes unprocessed.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`); `text` holds the name without the quote.
+    Lifetime,
+    /// Numeric literal (loosely scanned: `0x1f`, `1.5`, `3u64`).
+    Num,
+    /// Line or block comment; `text` holds the body including markers.
+    Comment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is included per kind).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column, in characters.
+    pub col: u32,
+    /// `true` when the token sits inside a `#[cfg(test)]` / `#[test]`
+    /// region (set by the post-lex marking pass).
+    pub in_test: bool,
+}
+
+impl Token {
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Is this an identifier token with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Lexes `src` into tokens and marks `#[cfg(test)]` / `#[test]` regions.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    };
+    lx.run();
+    mark_test_regions(&mut lx.out);
+    lx.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn cur(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek(&self, n: usize) -> Option<char> {
+        self.chars.get(self.i + n).copied()
+    }
+
+    /// Consumes one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.cur()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.cur() {
+            let (line, col) = (self.line, self.col);
+            if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == '"' {
+                self.bump();
+                let text = self.quoted_string();
+                self.push(TokKind::Str, text, line, col);
+            } else if c == '\'' {
+                self.char_or_lifetime(line, col);
+            } else if c.is_alphabetic() || c == '_' {
+                if (c == 'r' || c == 'b') && self.string_prefix(line, col) {
+                    continue;
+                }
+                self.ident(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if c.is_whitespace() {
+                self.bump();
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line, col);
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(ch) = self.cur() {
+            if ch == '\n' {
+                break;
+            }
+            text.push(ch);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line, col);
+    }
+
+    /// Block comment, nesting like Rust's.
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(ch) = self.cur() {
+            if ch == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if ch == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(ch);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line, col);
+    }
+
+    /// Body of a normal (escaped) string; the opening quote is consumed.
+    fn quoted_string(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(ch) = self.bump() {
+            if ch == '\\' {
+                text.push(ch);
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if ch == '"' {
+                break;
+            } else {
+                text.push(ch);
+            }
+        }
+        text
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` — returns `false`
+    /// (consuming nothing) when the `r`/`b` at the cursor is a plain
+    /// identifier start instead.
+    fn string_prefix(&mut self, line: u32, col: u32) -> bool {
+        let hashes_then_quote = |lx: &Lexer, mut off: usize| {
+            while lx.peek(off) == Some('#') {
+                off += 1;
+            }
+            lx.peek(off) == Some('"')
+        };
+        let c0 = self.cur();
+        let (skip, raw, is_char) = match c0 {
+            Some('r') => match self.peek(1) {
+                Some('"') => (1, true, false),
+                Some('#') if hashes_then_quote(self, 1) => (1, true, false),
+                _ => return false,
+            },
+            Some('b') => match self.peek(1) {
+                Some('"') => (1, false, false),
+                Some('\'') => (1, false, true),
+                Some('r') => match self.peek(2) {
+                    Some('"') => (2, true, false),
+                    Some('#') if hashes_then_quote(self, 2) => (2, true, false),
+                    _ => return false,
+                },
+                _ => return false,
+            },
+            _ => return false,
+        };
+        for _ in 0..skip {
+            self.bump();
+        }
+        if is_char {
+            self.bump(); // opening quote
+            let mut text = String::new();
+            while let Some(ch) = self.bump() {
+                if ch == '\\' {
+                    text.push(ch);
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                } else if ch == '\'' {
+                    break;
+                } else {
+                    text.push(ch);
+                }
+            }
+            self.push(TokKind::Char, text, line, col);
+        } else if raw {
+            let text = self.raw_string_body();
+            self.push(TokKind::Str, text, line, col);
+        } else {
+            self.bump(); // opening quote
+            let text = self.quoted_string();
+            self.push(TokKind::Str, text, line, col);
+        }
+        true
+    }
+
+    /// Raw string body: counts leading `#`s, then reads until `"` followed
+    /// by the same number of `#`s. The cursor sits on the first `#` or `"`.
+    fn raw_string_body(&mut self) -> String {
+        let mut hashes = 0usize;
+        while self.cur() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(ch) = self.cur() {
+            if ch == '"' && (0..hashes).all(|k| self.peek(1 + k) == Some('#')) {
+                self.bump();
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(ch);
+            self.bump();
+        }
+        text
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` / `'static` (lifetime).
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // the quote
+        match self.cur() {
+            Some('\\') => {
+                // Escaped char literal: consume through the closing quote.
+                let mut text = String::new();
+                text.push('\\');
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                while let Some(ch) = self.cur() {
+                    self.bump();
+                    if ch == '\'' {
+                        break;
+                    }
+                    text.push(ch);
+                }
+                self.push(TokKind::Char, text, line, col);
+            }
+            Some(ch) if ch.is_alphabetic() || ch == '_' => {
+                let mut name = String::new();
+                while let Some(c2) = self.cur() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        name.push(c2);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.cur() == Some('\'') && name.chars().count() == 1 {
+                    self.bump();
+                    self.push(TokKind::Char, name, line, col);
+                } else {
+                    self.push(TokKind::Lifetime, name, line, col);
+                }
+            }
+            Some(ch) => {
+                // Non-ident char literal like '(' or '0'.
+                self.bump();
+                if self.cur() == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, ch.to_string(), line, col);
+            }
+            None => self.push(TokKind::Punct, "'".to_string(), line, col),
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(ch) = self.cur() {
+            if ch.is_alphanumeric() || ch == '_' {
+                text.push(ch);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    /// Loose numeric scan: alphanumerics plus `_`, and `.` only when
+    /// followed by a digit (so `0..n` stays three tokens).
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(ch) = self.cur() {
+            let continues = ch.is_ascii_alphanumeric()
+                || ch == '_'
+                || (ch == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            text.push(ch);
+            self.bump();
+        }
+        self.push(TokKind::Num, text, line, col);
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]` / `#[test]` item as
+/// `in_test`, so passes can skip test-only code.
+///
+/// An attribute is test-related when its bracket contents mention the
+/// ident `test` and either mention `cfg` (`#[cfg(test)]`,
+/// `#[cfg(all(test, …))]`) or start with `test` itself (`#[test]`). The
+/// marked region runs from the attribute through the item's body: the
+/// first `{` … matching `}` (brace-counted over tokens, so braces inside
+/// strings or comments cannot confuse it), or through the terminating
+/// `;` for brace-less items (`#[cfg(test)] use …;`).
+fn mark_test_regions(tokens: &mut [Token]) {
+    let sig: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokKind::Comment)
+        .map(|(i, _)| i)
+        .collect();
+    let mut s = 0;
+    while s < sig.len() {
+        let i = sig[s];
+        let starts_attr =
+            tokens[i].is_punct('#') && s + 1 < sig.len() && tokens[sig[s + 1]].is_punct('[');
+        if !starts_attr {
+            s += 1;
+            continue;
+        }
+        // Find the matching `]`, noting what the attribute mentions.
+        let mut depth = 0usize;
+        let mut e = s + 1;
+        let mut has_test = false;
+        let mut has_cfg = false;
+        let mut first_ident_is_test = None::<bool>;
+        while e < sig.len() {
+            let t = &tokens[sig[e]];
+            match t.kind {
+                TokKind::Punct => match t.text.as_str() {
+                    "[" | "(" | "{" => depth += 1,
+                    "]" | ")" | "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                },
+                TokKind::Ident => {
+                    if first_ident_is_test.is_none() {
+                        first_ident_is_test = Some(t.text == "test");
+                    }
+                    if t.text == "test" {
+                        has_test = true;
+                    } else if t.text == "cfg" {
+                        has_cfg = true;
+                    }
+                }
+                _ => {}
+            }
+            e += 1;
+        }
+        let is_test_attr = has_test && (has_cfg || first_ident_is_test == Some(true));
+        if !is_test_attr {
+            s = e + 1;
+            continue;
+        }
+        // Walk forward to the item body: first top-level `{`…`}` pair, or
+        // a top-level `;` for brace-less items.
+        let mut braces = 0usize;
+        let mut b = e + 1;
+        let mut entered = false;
+        while b < sig.len() {
+            let t = &tokens[sig[b]];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => {
+                        braces += 1;
+                        entered = true;
+                    }
+                    "}" => {
+                        braces = braces.saturating_sub(1);
+                        if entered && braces == 0 {
+                            break;
+                        }
+                    }
+                    ";" if !entered => break,
+                    _ => {}
+                }
+            }
+            b += 1;
+        }
+        let end_tok = if b < sig.len() {
+            sig[b]
+        } else {
+            tokens.len() - 1
+        };
+        for t in &mut tokens[i..=end_tok] {
+            t.in_test = true;
+        }
+        s = b + 1;
+    }
+}
+
+/// For each token, whether it sits inside the *body* of a `for`/`while`/
+/// `loop` block (any nesting level). `impl Trait for Type` is excluded:
+/// a `for` only opens a loop body once an `in` has been seen before the
+/// `{` (while `while`/`loop` arm the next `{` directly).
+pub fn in_loop_map(tokens: &[Token]) -> Vec<bool> {
+    let mut map = vec![false; tokens.len()];
+    let mut stack: Vec<bool> = Vec::new();
+    let mut loops_open = 0usize;
+    let mut pending_loop = false;
+    let mut pending_for = false;
+    for (i, t) in tokens.iter().enumerate() {
+        map[i] = loops_open > 0;
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "loop" | "while" => pending_loop = true,
+                "for" => pending_for = true,
+                "in" if pending_for => {
+                    pending_for = false;
+                    pending_loop = true;
+                }
+                _ => {}
+            },
+            TokKind::Punct => match t.text.as_str() {
+                "{" => {
+                    let is_loop = pending_loop;
+                    pending_loop = false;
+                    pending_for = false;
+                    stack.push(is_loop);
+                    if is_loop {
+                        loops_open += 1;
+                    }
+                }
+                "}" if stack.pop() == Some(true) => {
+                    loops_open = loops_open.saturating_sub(1);
+                }
+                ";" => {
+                    pending_loop = false;
+                    pending_for = false;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = foo_bar(1, 0x2f);");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokKind::Punct, "=".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "foo_bar".into()));
+        assert!(toks.contains(&(TokKind::Num, "1".into())));
+        assert!(toks.contains(&(TokKind::Num, "0x2f".into())));
+    }
+
+    #[test]
+    fn comments_capture_words_without_leaking_idents() {
+        let toks = kinds("// a HashMap here\nlet x = 1; /* SystemTime /* nested */ ok */");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x"]);
+        let comments: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Comment)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert!(comments[0].contains("HashMap"));
+        assert!(comments[1].contains("nested"));
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        let toks = kinds(r##"let s = "unsafe { }"; let r = r#"HashMap "quoted""#;"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(strs, ["unsafe { }", "HashMap \"quoted\""]);
+        assert!(!toks.contains(&(TokKind::Ident, "unsafe".into())));
+        assert!(!toks.contains(&(TokKind::Ident, "HashMap".into())));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = kinds(r#"let s = "a\"b";"#);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(strs, [r#"a\"b"#]);
+    }
+
+    #[test]
+    fn char_versus_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; let u = '_'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(chars, ["x", "\\n", "_"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"raw"; let b = b'x'; let c = br#"hash"#;"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(strs, ["raw", "hash"]);
+        assert!(toks.contains(&(TokKind::Char, "x".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn helper() { y.unwrap(); }\n}\n\
+                   fn live2() {}";
+        let toks = lex(src);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, [false, true]);
+        assert!(toks.iter().any(|t| t.is_ident("live2") && !t.in_test));
+    }
+
+    #[test]
+    fn test_attribute_masks_single_fn() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\nfn live() { b.unwrap(); }";
+        let toks = lex(src);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, [true, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_is_masked_but_other_attrs_are_not() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() { a.unwrap(); } }\n\
+                   #[derive(Debug)]\nstruct S { x: u8 }\nfn live() { b.unwrap(); }";
+        let toks = lex(src);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, [true, false]);
+        assert!(toks.iter().any(|t| t.is_ident("S") && !t.in_test));
+    }
+
+    #[test]
+    fn loop_map_covers_for_while_loop_but_not_impl_for() {
+        let src = "impl A for B { fn f(&self) { let x = v[0]; } }\n\
+                   fn g() { for i in 0..4 { h(v[i]); } while t { w[1]; } loop { z[2]; } }";
+        let toks = lex(src);
+        let map = in_loop_map(&toks);
+        let at = |name: &str| {
+            toks.iter()
+                .position(|t| t.is_ident(name))
+                .map(|i| map[i])
+                .unwrap_or(false)
+        };
+        assert!(!at("x"), "impl-for body is not a loop");
+        assert!(at("h"));
+        assert!(at("w"));
+        assert!(at("z"));
+    }
+}

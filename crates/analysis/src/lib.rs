@@ -1,0 +1,241 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `fdip-analysis` — the workspace's own static-analysis harness
+//! (`fdip-lint`), in the repo's no-external-deps style.
+//!
+//! The repository's two hardest contracts are byte-identical results
+//! across `FDIP_JOBS` worker counts and the bidirectional
+//! `docs/METRICS.md` schema. Both are enforced at runtime by tests —
+//! *after* a violation ships. This crate enforces the invariants that
+//! back them statically, at `scripts/verify.sh` time, before any
+//! simulation runs:
+//!
+//! | pass | invariant |
+//! |---|---|
+//! | `determinism` | no wall-clock reads, hash-order iteration, thread ids, or un-seeded randomness in result-affecting crates |
+//! | `atomics` | no `Ordering::Relaxed` on executor atomics without justification |
+//! | `panic-audit` | no `unwrap`/`expect`/`panic!` in the hot-path modules |
+//! | `unsafe-forbid` | the workspace stays `unsafe`-free |
+//! | `schema-drift` | every emitted JSON key is documented in `docs/METRICS.md` |
+//!
+//! The architecture is a hand-rolled lexer ([`lexer`]) — comments,
+//! strings, char-vs-lifetime, idents; deliberately not a parser — a
+//! registry of passes over the token stream ([`passes`]), a justified
+//! allowlist ([`allow`]), and machine-readable diagnostics plus a
+//! versioned `lint.json` ([`report`], Document 5 of `docs/METRICS.md`).
+//! See `docs/ANALYSIS.md` for the operator's view.
+
+pub mod allow;
+pub mod lexer;
+pub mod passes;
+pub mod report;
+
+use std::path::Path;
+
+use allow::Allowlist;
+use passes::{registry, PassCtx, SourceFile};
+use report::{Finding, LintOutcome, Severity};
+
+/// Workspace-relative path of the allowlist file.
+pub const ALLOWLIST_PATH: &str = "lint-allow.txt";
+
+/// Top-level directories scanned for `.rs` sources. Directory-walk order
+/// is sorted, so two runs over the same tree report identically — the
+/// lint tool holds itself to the workspace's determinism bar.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples", "vendor"];
+
+/// Directory names never descended into: build output and the lint
+/// crate's own deliberately-violating test fixtures.
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Collects every scannable `.rs` path under `root`, workspace-relative
+/// with `/` separators, sorted.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let unix: Vec<String> = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect();
+                out.push(unix.join("/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lints every workspace source file under `root`, applying (and
+/// auditing) the allowlist. The returned findings are sorted by
+/// `(file, line, col, pass)`.
+pub fn lint_workspace(root: &Path, allowlist: &mut Allowlist) -> std::io::Result<LintOutcome> {
+    let metrics_doc = std::fs::read_to_string(root.join("docs/METRICS.md")).unwrap_or_default();
+    let ctx = PassCtx { metrics_doc };
+    let passes = registry();
+    let files = collect_files(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let src = SourceFile {
+            path: rel.clone(),
+            tokens: lexer::lex(&text),
+        };
+        for pass in &passes {
+            (pass.run)(&ctx, &src, &mut findings);
+        }
+    }
+    apply_allowlist(&mut findings, allowlist);
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.pass).cmp(&(b.file.as_str(), b.line, b.col, b.pass))
+    });
+    Ok(LintOutcome {
+        findings,
+        files_scanned: files.len(),
+        pass_ids: passes.iter().map(|p| p.id).collect(),
+    })
+}
+
+/// Marks findings covered by the allowlist and appends meta-findings for
+/// allowlist problems: entries with no justification (error) and entries
+/// that matched nothing (warn — stale entries must be pruned).
+pub fn apply_allowlist(findings: &mut Vec<Finding>, allowlist: &mut Allowlist) {
+    for f in findings.iter_mut() {
+        if f.severity < Severity::Warn {
+            continue;
+        }
+        if let Some(entry) = allowlist.claim(f.pass, &f.file, &f.needle) {
+            if !entry.justification.is_empty() {
+                f.justification = Some(entry.justification.clone());
+            }
+        }
+    }
+    for e in &allowlist.entries {
+        if e.justification.is_empty() {
+            findings.push(Finding {
+                pass: "allowlist",
+                file: ALLOWLIST_PATH.to_string(),
+                line: e.line,
+                col: 1,
+                severity: Severity::Error,
+                needle: e.needle.clone(),
+                message: format!(
+                    "allowlist entry `{} | {} | {}` has no justification — every \
+                     exemption must say why it is sound",
+                    e.pass, e.file, e.needle
+                ),
+                justification: None,
+            });
+        } else if !e.used {
+            findings.push(Finding {
+                pass: "allowlist",
+                file: ALLOWLIST_PATH.to_string(),
+                line: e.line,
+                col: 1,
+                severity: Severity::Warn,
+                needle: e.needle.clone(),
+                message: format!(
+                    "stale allowlist entry `{} | {} | {}`: no finding matches it — \
+                     remove it so the allowlist tracks reality",
+                    e.pass, e.file, e.needle
+                ),
+                justification: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlisted_findings_stop_denying_and_entries_are_audited() {
+        let mut findings = vec![
+            Finding {
+                pass: "determinism",
+                file: "crates/harness/src/bench.rs".into(),
+                line: 5,
+                col: 1,
+                severity: Severity::Error,
+                needle: "Instant".into(),
+                message: "wall clock".into(),
+                justification: None,
+            },
+            Finding {
+                pass: "determinism",
+                file: "crates/core/src/sim.rs".into(),
+                line: 9,
+                col: 1,
+                severity: Severity::Error,
+                needle: "HashMap".into(),
+                message: "hash order".into(),
+                justification: None,
+            },
+        ];
+        let mut al = Allowlist::parse(
+            "determinism | crates/harness/src/bench.rs | Instant | timing telemetry\n\
+             determinism | crates/mem/src/cache.rs | HashSet | gone since PR 3\n\
+             atomics | crates/exec/src/lib.rs | Ordering::Relaxed |\n",
+        )
+        .unwrap();
+        apply_allowlist(&mut findings, &mut al);
+        // Covered finding carries the justification; uncovered still denies.
+        assert_eq!(
+            findings[0].justification.as_deref(),
+            Some("timing telemetry")
+        );
+        assert!(!findings[0].denies());
+        assert!(findings[1].denies());
+        // Stale entry -> warn; empty justification -> error.
+        let metas: Vec<(&str, Severity)> = findings[2..]
+            .iter()
+            .map(|f| (f.needle.as_str(), f.severity))
+            .collect();
+        assert!(metas.contains(&("HashSet", Severity::Warn)));
+        assert!(metas.contains(&("Ordering::Relaxed", Severity::Error)));
+    }
+
+    #[test]
+    fn notes_are_never_allowlist_matched() {
+        let mut findings = vec![Finding {
+            pass: "panic-audit",
+            file: "crates/core/src/sim.rs".into(),
+            line: 1,
+            col: 1,
+            severity: Severity::Note,
+            needle: "index".into(),
+            message: "advisory".into(),
+            justification: None,
+        }];
+        let mut al =
+            Allowlist::parse("panic-audit | crates/core/src/sim.rs | index | why\n").unwrap();
+        apply_allowlist(&mut findings, &mut al);
+        assert!(findings[0].justification.is_none());
+        // The entry is therefore stale.
+        assert!(findings.iter().any(|f| f.pass == "allowlist"));
+    }
+}

@@ -1,0 +1,526 @@
+//! The pass registry: five named passes over the lexed token stream.
+//!
+//! Each pass is a pure function from one source file's tokens to
+//! findings; scoping (which files a pass examines) lives in the pass
+//! itself so the driver stays a dumb loop. All passes skip
+//! `#[cfg(test)]` / `#[test]` regions except `unsafe-forbid`, which
+//! covers test code too — an `unsafe` block is a soundness question no
+//! matter where it sits.
+
+use crate::lexer::{in_loop_map, TokKind, Token};
+use crate::report::{Finding, Severity};
+
+/// Shared context passed to every pass.
+pub struct PassCtx {
+    /// Contents of `docs/METRICS.md` (empty when missing, which makes
+    /// every emitted key a finding — the doc is part of the contract).
+    pub metrics_doc: String,
+}
+
+/// One source file, lexed.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Token stream from [`crate::lexer::lex`].
+    pub tokens: Vec<Token>,
+}
+
+/// A registered pass.
+pub struct Pass {
+    /// Stable id used in diagnostics and allowlist entries.
+    pub id: &'static str,
+    /// One-line description for `--list-passes`.
+    pub description: &'static str,
+    /// The pass body.
+    pub run: fn(&PassCtx, &SourceFile, &mut Vec<Finding>),
+}
+
+/// All passes, in fixed registry order.
+pub fn registry() -> Vec<Pass> {
+    vec![
+        Pass {
+            id: "determinism",
+            description: "flags wall-clock reads, hash-order iteration, thread ids, and \
+                          un-seeded randomness in result-affecting crates",
+            run: determinism,
+        },
+        Pass {
+            id: "atomics",
+            description: "flags Ordering::Relaxed on executor atomics (cross-thread hand-off \
+                          needs Acquire/Release)",
+            run: atomics,
+        },
+        Pass {
+            id: "panic-audit",
+            description: "flags unwrap/expect/panic! and indexing-in-loop in the hot-path \
+                          modules",
+            run: panic_audit,
+        },
+        Pass {
+            id: "unsafe-forbid",
+            description: "locks in the zero-unsafe invariant: any `unsafe` needs a SAFETY \
+                          comment and an allowlist entry",
+            run: unsafe_forbid,
+        },
+        Pass {
+            id: "schema-drift",
+            description: "cross-checks emitted JSON keys against docs/METRICS.md",
+            run: schema_drift,
+        },
+    ]
+}
+
+/// Crates whose code affects simulation *results* (as opposed to
+/// timing-only telemetry): anything here must be bit-deterministic.
+const RESULT_CRATES: &[&str] = &[
+    "crates/core/src/",
+    "crates/bpred/src/",
+    "crates/mem/src/",
+    "crates/program/src/",
+    "crates/harness/src/",
+    "crates/prefetch/src/",
+    "crates/types/src/",
+];
+
+/// Hot-path modules where a panic or a missed bound costs correctness
+/// or throughput on every simulated cycle.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/sim.rs",
+    "crates/core/src/meta.rs",
+    "crates/core/src/probe.rs",
+    "crates/mem/src/cache.rs",
+    "crates/mem/src/table.rs",
+];
+
+/// Indices of non-comment tokens, the scanning view every pass uses.
+fn significant(tokens: &[Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokKind::Comment)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Does `sig[s..]` start with the path `first::second`?
+fn path_pair(tokens: &[Token], sig: &[usize], s: usize, first: &str, second: &str) -> bool {
+    tokens[sig[s]].is_ident(first)
+        && s + 3 < sig.len()
+        && tokens[sig[s + 1]].is_punct(':')
+        && tokens[sig[s + 2]].is_punct(':')
+        && tokens[sig[s + 3]].is_ident(second)
+}
+
+fn finding(
+    pass: &'static str,
+    file: &str,
+    t: &Token,
+    severity: Severity,
+    needle: &str,
+    message: String,
+) -> Finding {
+    Finding {
+        pass,
+        file: file.to_string(),
+        line: t.line,
+        col: t.col,
+        severity,
+        needle: needle.to_string(),
+        message,
+        justification: None,
+    }
+}
+
+/// Pass 1: determinism hazards in result-affecting crates.
+fn determinism(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    if !RESULT_CRATES.iter().any(|p| src.path.starts_with(p)) {
+        return;
+    }
+    let sig = significant(&src.tokens);
+    for (s, &i) in sig.iter().enumerate() {
+        let t = &src.tokens[i];
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => out.push(finding(
+                "determinism",
+                &src.path,
+                t,
+                Severity::Error,
+                &t.text,
+                format!(
+                    "{} iteration order varies across runs; results must be byte-identical — \
+                     use BTreeMap/BTreeSet or an in-repo table (ProbeTable/FillMap)",
+                    t.text
+                ),
+            )),
+            "Instant" | "SystemTime" => out.push(finding(
+                "determinism",
+                &src.path,
+                t,
+                Severity::Error,
+                &t.text,
+                format!(
+                    "{} reads the wall clock; simulated time must come from the cycle \
+                     counter (timing telemetry belongs outside result-affecting code)",
+                    t.text
+                ),
+            )),
+            "thread" if path_pair(&src.tokens, &sig, s, "thread", "current") => out.push(finding(
+                "determinism",
+                &src.path,
+                t,
+                Severity::Error,
+                "thread::current",
+                "thread identity leaks scheduler state into results".to_string(),
+            )),
+            "thread_rng" | "from_entropy" | "OsRng" | "ThreadRng" => out.push(finding(
+                "determinism",
+                &src.path,
+                t,
+                Severity::Error,
+                &t.text,
+                format!(
+                    "{} draws un-seeded randomness; construct rngs with \
+                     SeedableRng::seed_from_u64 so runs replay exactly",
+                    t.text
+                ),
+            )),
+            _ => {}
+        }
+    }
+}
+
+/// Pass 2: `Ordering::Relaxed` in the executor.
+fn atomics(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    if !src.path.starts_with("crates/exec/src/") {
+        return;
+    }
+    let sig = significant(&src.tokens);
+    for (s, &i) in sig.iter().enumerate() {
+        let t = &src.tokens[i];
+        if t.in_test {
+            continue;
+        }
+        if path_pair(&src.tokens, &sig, s, "Ordering", "Relaxed") {
+            out.push(finding(
+                "atomics",
+                &src.path,
+                t,
+                Severity::Error,
+                "Ordering::Relaxed",
+                "Relaxed ordering on an executor atomic: anything guarding cross-thread \
+                 hand-off needs Acquire/Release; a pure telemetry tally may be allowlisted"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Pass 3: panic sites and loop indexing in the hot-path modules.
+fn panic_audit(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    if !HOT_PATH_FILES.contains(&src.path.as_str()) {
+        return;
+    }
+    let sig = significant(&src.tokens);
+    let loops = in_loop_map(&src.tokens);
+    for (s, &i) in sig.iter().enumerate() {
+        let t = &src.tokens[i];
+        if t.in_test {
+            continue;
+        }
+        let prev = s.checked_sub(1).map(|p| &src.tokens[sig[p]]);
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "unwrap" | "expect" if prev.is_some_and(|p| p.is_punct('.')) => {
+                    out.push(finding(
+                        "panic-audit",
+                        &src.path,
+                        t,
+                        Severity::Error,
+                        &t.text,
+                        format!(
+                            ".{}() can panic on the hot path; restructure to an infallible \
+                             pattern (let-else / if-let) or allowlist with justification",
+                            t.text
+                        ),
+                    ));
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if sig.get(s + 1).is_some_and(|&n| src.tokens[n].is_punct('!')) =>
+                {
+                    out.push(finding(
+                        "panic-audit",
+                        &src.path,
+                        t,
+                        Severity::Error,
+                        &format!("{}!", t.text),
+                        format!(
+                            "{}! aborts the simulation from the hot path; return a \
+                             recoverable state or allowlist with justification",
+                            t.text
+                        ),
+                    ));
+                }
+                _ => {}
+            },
+            // Index expression: `expr[`, i.e. `[` directly after an
+            // ident or a closing bracket — never after `#` (attribute)
+            // or an operator (array literal / type).
+            TokKind::Punct
+                if t.text == "["
+                    && loops[i]
+                    && prev.is_some_and(|p| {
+                        p.kind == TokKind::Ident || p.is_punct(')') || p.is_punct(']')
+                    }) =>
+            {
+                out.push(finding(
+                    "panic-audit",
+                    &src.path,
+                    t,
+                    Severity::Note,
+                    "index",
+                    "bounds-checked indexing inside a loop; prefer iterators or prove \
+                     the bound once outside the loop (advisory)"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Pass 5 (registry order 4): the zero-`unsafe` lock-in, everywhere
+/// including tests and vendored stand-ins.
+fn unsafe_forbid(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, t) in src.tokens.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // A `// SAFETY: …` comment must immediately precede the block
+        // (within the previous few tokens, so an attribute or visibility
+        // keyword in between still counts).
+        let has_safety = src.tokens[i.saturating_sub(4)..i]
+            .iter()
+            .any(|p| p.kind == TokKind::Comment && p.text.contains("SAFETY:"));
+        let (needle, message) = if has_safety {
+            (
+                "unsafe",
+                "the workspace is unsafe-free; new unsafe requires an allowlist entry \
+                 justifying why safe code cannot express this"
+                    .to_string(),
+            )
+        } else {
+            (
+                "unsafe-missing-safety-comment",
+                "unsafe without an immediately preceding `// SAFETY:` comment; document \
+                 the invariant the block relies on, then allowlist it"
+                    .to_string(),
+            )
+        };
+        out.push(finding(
+            "unsafe-forbid",
+            &src.path,
+            t,
+            Severity::Error,
+            needle,
+            message,
+        ));
+    }
+}
+
+/// Pass 5: emitted JSON keys (`.with("k", …)` / `.set("k", …)`) must be
+/// documented — appear in backticks — in `docs/METRICS.md`.
+fn schema_drift(ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    let in_crate_src = src.path.starts_with("crates/") && src.path.contains("/src/");
+    if !(in_crate_src || src.path.starts_with("src/")) || src.path.starts_with("vendor/") {
+        return;
+    }
+    let sig = significant(&src.tokens);
+    for s in 0..sig.len() {
+        let t = &src.tokens[sig[s]];
+        if t.in_test || !t.is_punct('.') {
+            continue;
+        }
+        let Some(&m) = sig.get(s + 1) else { continue };
+        let method = &src.tokens[m];
+        if !(method.is_ident("with") || method.is_ident("set")) {
+            continue;
+        }
+        let Some(&p) = sig.get(s + 2) else { continue };
+        if !src.tokens[p].is_punct('(') {
+            continue;
+        }
+        let Some(&k) = sig.get(s + 3) else { continue };
+        let key = &src.tokens[k];
+        if key.kind != TokKind::Str || key.text.is_empty() {
+            continue;
+        }
+        if !ctx.metrics_doc.contains(&format!("`{}`", key.text)) {
+            out.push(finding(
+                "schema-drift",
+                &src.path,
+                key,
+                Severity::Error,
+                &key.text,
+                format!(
+                    "emitted JSON key \"{}\" is not documented in docs/METRICS.md — \
+                     document it (and bump schema_version on renames)",
+                    key.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_pass(id: &str, path: &str, code: &str, doc: &str) -> Vec<Finding> {
+        let ctx = PassCtx {
+            metrics_doc: doc.to_string(),
+        };
+        let src = SourceFile {
+            path: path.to_string(),
+            tokens: lex(code),
+        };
+        let pass = registry()
+            .into_iter()
+            .find(|p| p.id == id)
+            .expect("pass registered");
+        let mut out = Vec::new();
+        (pass.run)(&ctx, &src, &mut out);
+        out
+    }
+
+    #[test]
+    fn registry_has_the_five_documented_passes() {
+        let ids: Vec<&str> = registry().iter().map(|p| p.id).collect();
+        assert_eq!(
+            ids,
+            [
+                "determinism",
+                "atomics",
+                "panic-audit",
+                "unsafe-forbid",
+                "schema-drift"
+            ]
+        );
+    }
+
+    #[test]
+    fn determinism_flags_only_result_crates() {
+        let code = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let hits = run_pass("determinism", "crates/core/src/sim.rs", code, "");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|f| f.needle == "Instant"));
+        // The executor and telemetry crates measure wall time by design.
+        assert!(run_pass("determinism", "crates/exec/src/lib.rs", code, "").is_empty());
+        assert!(run_pass("determinism", "crates/telemetry/src/manifest.rs", code, "").is_empty());
+    }
+
+    #[test]
+    fn determinism_catches_each_hazard_class() {
+        let code = "fn f() {\n  let m: HashMap<u8, u8> = HashMap::new();\n  \
+                    let s = HashSet::new();\n  let t = SystemTime::now();\n  \
+                    let id = thread::current().id();\n  let r = thread_rng();\n}";
+        let hits = run_pass("determinism", "crates/mem/src/cache.rs", code, "");
+        let needles: Vec<&str> = hits.iter().map(|f| f.needle.as_str()).collect();
+        assert!(needles.contains(&"HashMap"));
+        assert!(needles.contains(&"HashSet"));
+        assert!(needles.contains(&"SystemTime"));
+        assert!(needles.contains(&"thread::current"));
+        assert!(needles.contains(&"thread_rng"));
+    }
+
+    #[test]
+    fn determinism_ignores_tests_comments_and_strings() {
+        let code = "// a HashMap in prose\nfn f() { let s = \"HashMap\"; }\n\
+                    #[cfg(test)]\nmod tests { use std::collections::HashMap;\n  \
+                    fn g() { let m = HashMap::new(); } }";
+        assert!(run_pass("determinism", "crates/core/src/sim.rs", code, "").is_empty());
+    }
+
+    #[test]
+    fn atomics_flags_relaxed_in_exec_only() {
+        let code = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); \
+                    c.load(Ordering::Acquire); }";
+        let hits = run_pass("atomics", "crates/exec/src/lib.rs", code, "");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].needle, "Ordering::Relaxed");
+        assert!(run_pass("atomics", "crates/core/src/sim.rs", code, "").is_empty());
+    }
+
+    #[test]
+    fn panic_audit_flags_method_panics_and_macros() {
+        let code = "fn f(x: Option<u8>) -> u8 {\n  let a = x.unwrap();\n  \
+                    let b = x.expect(\"present\");\n  if a > b { panic!(\"no\"); }\n  \
+                    match a { 0 => unreachable!(), _ => a }\n}";
+        let hits = run_pass("panic-audit", "crates/core/src/sim.rs", code, "");
+        let needles: Vec<&str> = hits.iter().map(|f| f.needle.as_str()).collect();
+        assert_eq!(needles, ["unwrap", "expect", "panic!", "unreachable!"]);
+        assert!(hits.iter().all(|f| f.severity == Severity::Error));
+        // Same code in a non-hot-path file: out of scope.
+        assert!(run_pass("panic-audit", "crates/core/src/config.rs", code, "").is_empty());
+    }
+
+    #[test]
+    fn panic_audit_does_not_flag_definitions_or_tests() {
+        let code = "impl Foo {\n  pub fn unwrap(self) -> u8 { self.0 }\n  \
+                    pub fn expect(self, _m: &str) -> u8 { self.0 }\n}\n\
+                    #[cfg(test)]\nmod tests { fn t() { Some(1).unwrap(); } }";
+        assert!(run_pass("panic-audit", "crates/core/src/sim.rs", code, "").is_empty());
+    }
+
+    #[test]
+    fn panic_audit_notes_indexing_only_inside_loops() {
+        let code = "fn f(v: &[u8]) -> u8 {\n  let head = v[0];\n  \
+                    let mut acc = 0;\n  for i in 0..v.len() { acc += v[i]; }\n  \
+                    acc + head\n}";
+        let hits = run_pass("panic-audit", "crates/core/src/sim.rs", code, "");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Note);
+        assert_eq!(hits[0].needle, "index");
+        assert_eq!(hits[0].line, 4);
+    }
+
+    #[test]
+    fn unsafe_forbid_covers_everything_and_distinguishes_safety_comments() {
+        let bare = "fn f() { unsafe { work(); } }";
+        let hits = run_pass("unsafe-forbid", "vendor/rand/src/lib.rs", bare, "");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].needle, "unsafe-missing-safety-comment");
+        let commented = "fn f() {\n  // SAFETY: len checked above\n  unsafe { work(); }\n}";
+        let hits = run_pass("unsafe-forbid", "crates/core/src/sim.rs", commented, "");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].needle, "unsafe");
+        // Test code is NOT exempt for this pass.
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { unsafe { work(); } } }";
+        assert_eq!(
+            run_pass("unsafe-forbid", "tests/properties.rs", in_test, "").len(),
+            1
+        );
+        // The word inside a string or comment does not count.
+        let quoted = "// unsafe in prose\nfn f() { let s = \"unsafe\"; }";
+        assert!(run_pass("unsafe-forbid", "src/lib.rs", quoted, "").is_empty());
+    }
+
+    #[test]
+    fn schema_drift_checks_keys_against_the_doc() {
+        let code = "fn j() -> Json { Json::obj().with(\"ipc\", 1.0).with(\"bogus_key\", 2.0) }";
+        let doc = "| `ipc` | instructions per cycle |";
+        let hits = run_pass("schema-drift", "crates/core/src/stats.rs", code, doc);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].needle, "bogus_key");
+        // Dynamic keys (non-literal first argument) are skipped.
+        let dynamic = "fn j(k: &str) -> Json { Json::obj().with(k, 1.0) }";
+        assert!(run_pass("schema-drift", "crates/core/src/stats.rs", dynamic, doc).is_empty());
+        // Vendored stand-ins and test code are out of scope.
+        assert!(run_pass("schema-drift", "vendor/criterion/src/lib.rs", code, doc).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { Json::obj().with(\"zzz\", 1); } }";
+        assert!(run_pass("schema-drift", "crates/telemetry/src/json.rs", in_test, doc).is_empty());
+    }
+}

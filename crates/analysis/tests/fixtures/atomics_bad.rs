@@ -1,0 +1,7 @@
+// Fixture: Relaxed ordering on executor atomics.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bad(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+    let _ = c.load(Ordering::Relaxed);
+}

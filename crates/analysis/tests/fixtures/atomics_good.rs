@@ -1,0 +1,8 @@
+// Fixture: properly paired Release/Acquire orderings.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn good(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Release);
+    let _ = c.load(Ordering::Acquire);
+    c.store(0, Ordering::SeqCst);
+}

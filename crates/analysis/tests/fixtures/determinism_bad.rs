@@ -1,0 +1,15 @@
+// Fixture: every construct the determinism pass must flag.
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+fn bad() {
+    let m: HashMap<u64, u64> = HashMap::new();
+    let s: HashSet<u64> = HashSet::new();
+    let t0 = Instant::now();
+    let now = SystemTime::now();
+    let id = std::thread::current().id();
+    let mut rng = rand::thread_rng();
+    let other = SmallRng::from_entropy();
+}

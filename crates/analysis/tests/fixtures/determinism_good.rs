@@ -1,0 +1,22 @@
+// Fixture: deterministic equivalents that must not be flagged.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+fn good(seed: u64) {
+    let m: BTreeMap<u64, u64> = BTreeMap::new();
+    let s: BTreeSet<u64> = BTreeSet::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use wall clocks and hash maps freely.
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t0 = Instant::now();
+        let _m: HashMap<u8, u8> = HashMap::new();
+    }
+}

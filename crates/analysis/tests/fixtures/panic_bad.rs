@@ -1,0 +1,16 @@
+// Fixture: panicking constructs on the hot path.
+fn bad(v: Vec<u64>, o: Option<u64>) -> u64 {
+    let a = o.unwrap();
+    let b = o.expect("present");
+    if a == 0 {
+        panic!("zero");
+    }
+    if b == 1 {
+        unreachable!("one");
+    }
+    let mut sum = 0;
+    for i in 0..v.len() {
+        sum += v[i];
+    }
+    sum
+}

@@ -1,0 +1,19 @@
+// Fixture: infallible patterns, plus panics confined to test code.
+fn good(v: Vec<u64>, o: Option<u64>) -> u64 {
+    let Some(a) = o else { return 0 };
+    let mut sum = a;
+    for x in &v {
+        sum += x;
+    }
+    // Indexing outside a loop is not even a note.
+    sum += v.first().copied().unwrap_or(0);
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

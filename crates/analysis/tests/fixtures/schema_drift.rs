@@ -1,0 +1,5 @@
+// Fixture: one documented and one undocumented emitted JSON key.
+fn emit(j: Json) -> Json {
+    j.with("documented_key", 1u64)
+        .with("undocumented_key", 2u64)
+}

@@ -1,0 +1,11 @@
+// Fixture: unsafe without a SAFETY comment, and unsafe with one (the
+// latter still requires an allowlist entry — the pass reports both,
+// with different needles).
+fn no_comment(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+fn with_comment(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees p is valid and aligned.
+    unsafe { *p }
+}

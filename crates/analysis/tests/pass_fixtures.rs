@@ -1,0 +1,202 @@
+//! Fixture-driven pass tests: each file under `tests/fixtures/` is a
+//! deliberately violating (or deliberately clean) source that the
+//! workspace scan itself skips (`fixtures` is in `SKIP_DIRS`). Scoping
+//! is path-based, so each fixture is lexed from disk and then assigned
+//! an in-scope synthetic path.
+
+use std::path::Path;
+
+use fdip_analysis::lexer;
+use fdip_analysis::passes::{registry, PassCtx, SourceFile};
+use fdip_analysis::report::{Finding, Severity};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn run_pass_on(pass_id: &str, path: &str, source: &str, metrics_doc: &str) -> Vec<Finding> {
+    let ctx = PassCtx {
+        metrics_doc: metrics_doc.to_string(),
+    };
+    let src = SourceFile {
+        path: path.to_string(),
+        tokens: lexer::lex(source),
+    };
+    let mut out = Vec::new();
+    let passes = registry();
+    let pass = passes
+        .iter()
+        .find(|p| p.id == pass_id)
+        .unwrap_or_else(|| panic!("no pass named {pass_id}"));
+    (pass.run)(&ctx, &src, &mut out);
+    out
+}
+
+#[test]
+fn determinism_fixture_flags_every_hazard() {
+    let hits = run_pass_on(
+        "determinism",
+        "crates/core/src/sim.rs",
+        &fixture("determinism_bad.rs"),
+        "",
+    );
+    let needles: Vec<&str> = hits.iter().map(|f| f.needle.as_str()).collect();
+    for expected in [
+        "HashMap",
+        "HashSet",
+        "Instant",
+        "SystemTime",
+        "thread::current",
+        "thread_rng",
+        "from_entropy",
+    ] {
+        assert!(
+            needles.contains(&expected),
+            "missing {expected}: {needles:?}"
+        );
+    }
+    assert!(hits.iter().all(|f| f.severity == Severity::Error));
+}
+
+#[test]
+fn determinism_fixture_clean_version_passes() {
+    let hits = run_pass_on(
+        "determinism",
+        "crates/core/src/sim.rs",
+        &fixture("determinism_good.rs"),
+        "",
+    );
+    assert!(hits.is_empty(), "clean fixture flagged: {hits:?}");
+}
+
+#[test]
+fn determinism_is_scoped_to_result_crates() {
+    // The same hazards in an out-of-scope crate are not findings.
+    let hits = run_pass_on(
+        "determinism",
+        "crates/telemetry/src/manifest.rs",
+        &fixture("determinism_bad.rs"),
+        "",
+    );
+    assert!(hits.is_empty());
+}
+
+#[test]
+fn atomics_fixture_flags_relaxed_only_in_exec() {
+    let bad = fixture("atomics_bad.rs");
+    let hits = run_pass_on("atomics", "crates/exec/src/lib.rs", &bad, "");
+    assert_eq!(hits.len(), 2);
+    assert!(hits.iter().all(|f| f.needle == "Ordering::Relaxed"));
+
+    let good = fixture("atomics_good.rs");
+    assert!(run_pass_on("atomics", "crates/exec/src/lib.rs", &good, "").is_empty());
+    // Out of scope: Relaxed elsewhere is not this pass's business.
+    assert!(run_pass_on("atomics", "crates/core/src/sim.rs", &bad, "").is_empty());
+}
+
+#[test]
+fn panic_audit_fixture_flags_hot_path_panics() {
+    let hits = run_pass_on(
+        "panic-audit",
+        "crates/core/src/sim.rs",
+        &fixture("panic_bad.rs"),
+        "",
+    );
+    let errors: Vec<&str> = hits
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .map(|f| f.needle.as_str())
+        .collect();
+    assert_eq!(errors, vec!["unwrap", "expect", "panic!", "unreachable!"]);
+    // Indexing inside the loop is advisory only.
+    let notes: Vec<&Finding> = hits
+        .iter()
+        .filter(|f| f.severity == Severity::Note)
+        .collect();
+    assert_eq!(notes.len(), 1);
+    assert_eq!(notes[0].needle, "index");
+    assert!(hits
+        .iter()
+        .all(|f| !f.denies() || f.severity >= Severity::Warn));
+}
+
+#[test]
+fn panic_audit_fixture_clean_version_passes() {
+    let hits = run_pass_on(
+        "panic-audit",
+        "crates/core/src/sim.rs",
+        &fixture("panic_good.rs"),
+        "",
+    );
+    assert!(hits.is_empty(), "clean fixture flagged: {hits:?}");
+}
+
+#[test]
+fn panic_audit_is_scoped_to_hot_path_files() {
+    let hits = run_pass_on(
+        "panic-audit",
+        "crates/core/src/config.rs",
+        &fixture("panic_bad.rs"),
+        "",
+    );
+    assert!(hits.is_empty());
+}
+
+#[test]
+fn unsafe_fixture_distinguishes_safety_comment() {
+    // Scope is everywhere — even a vendored or test path.
+    let hits = run_pass_on(
+        "unsafe-forbid",
+        "vendor/rand/src/lib.rs",
+        &fixture("unsafe_bad.rs"),
+        "",
+    );
+    let needles: Vec<&str> = hits.iter().map(|f| f.needle.as_str()).collect();
+    assert_eq!(needles, vec!["unsafe-missing-safety-comment", "unsafe"]);
+}
+
+#[test]
+fn schema_drift_fixture_flags_undocumented_keys() {
+    let doc = "| `documented_key` | int | a documented key |";
+    let hits = run_pass_on(
+        "schema-drift",
+        "crates/telemetry/src/manifest.rs",
+        &fixture("schema_drift.rs"),
+        doc,
+    );
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].needle, "undocumented_key");
+    // Vendored code does not emit schema documents.
+    assert!(run_pass_on(
+        "schema-drift",
+        "vendor/criterion/src/lib.rs",
+        &fixture("schema_drift.rs"),
+        doc,
+    )
+    .is_empty());
+}
+
+#[test]
+fn golden_diagnostic_rendering() {
+    let hits = run_pass_on(
+        "atomics",
+        "crates/exec/src/lib.rs",
+        &fixture("atomics_bad.rs"),
+        "",
+    );
+    let rendered: Vec<String> = hits.iter().map(Finding::render).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "crates/exec/src/lib.rs:5:20: [atomics] error: Relaxed ordering on an executor \
+             atomic: anything guarding cross-thread hand-off needs Acquire/Release; a pure \
+             telemetry tally may be allowlisted",
+            "crates/exec/src/lib.rs:6:20: [atomics] error: Relaxed ordering on an executor \
+             atomic: anything guarding cross-thread hand-off needs Acquire/Release; a pure \
+             telemetry tally may be allowlisted",
+        ]
+    );
+}

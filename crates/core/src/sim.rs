@@ -26,7 +26,7 @@ use fdip_mem::{FillSrc, Hierarchy};
 use fdip_prefetch::Prefetcher;
 use fdip_program::{ExecutionEngine, Program};
 use fdip_trace::{TraceEventKind, Tracer};
-use fdip_types::{Addr, Cycle};
+use fdip_types::{Addr, BranchKind, Cycle};
 use std::collections::VecDeque;
 
 /// Slots in the prefetch re-issue (churn) filter — its hard memory cap.
@@ -362,11 +362,14 @@ impl<'p> Simulator<'p> {
     // ----------------------------------------------------------------
 
     fn resolve_branches(&mut self) {
-        while let Some(front) = self.unresolved.front() {
-            if front.resolve_at > self.now {
+        while self
+            .unresolved
+            .front()
+            .is_some_and(|front| front.resolve_at <= self.now)
+        {
+            let Some(u) = self.unresolved.pop_front() else {
                 break;
-            }
-            let u = self.unresolved.pop_front().expect("front exists");
+            };
             let actual = *self.oracle.get(u.seq);
             let predicted_next = if u.rec.predicted_taken {
                 u.rec.predicted_target
@@ -480,8 +483,11 @@ impl<'p> Simulator<'p> {
             if head.complete_at > self.now {
                 break;
             }
-            let e = self.rob.pop_front().expect("head exists");
-            let seq = e.seq.expect("wrong-path instruction reached retire");
+            let Some(e) = self.rob.pop_front() else { break };
+            let Some(seq) = e.seq else {
+                debug_assert!(false, "wrong-path instruction reached retire");
+                break;
+            };
             self.stats.retired += 1;
             if e.is_branch {
                 self.stats.retired_branches += 1;
@@ -565,9 +571,8 @@ impl<'p> Simulator<'p> {
             }
         }
         for idx in picked {
-            let (line, was_head) = {
-                let e = self.ftq.get_mut(idx).expect("picked index valid");
-                (e.line(), idx == 0)
+            let Some((line, was_head)) = self.ftq.get_mut(idx).map(|e| (e.line(), idx == 0)) else {
+                continue;
             };
             if self.cfg.prefetcher.is_perfect() {
                 self.mem.prefetch_instr_line_instant(line, self.now);
@@ -593,7 +598,9 @@ impl<'p> Simulator<'p> {
             if missed && self.cfg.prefetcher.wants_btb_prefetch() {
                 self.btb_prefetch_line(line);
             }
-            let e = self.ftq.get_mut(idx).expect("picked index valid");
+            let Some(e) = self.ftq.get_mut(idx) else {
+                continue;
+            };
             e.fill = FillState::Requested {
                 ready_at,
                 missed,
@@ -608,7 +615,9 @@ impl<'p> Simulator<'p> {
     fn btb_prefetch_line(&mut self, line: u64) {
         for i in self.meta.slots_of_line(line) {
             if self.meta.flags(i) & meta::F_DIRECT != 0 {
-                let kind = meta::tag_branch_kind(self.meta.tag(i)).expect("direct implies branch");
+                let Some(kind) = meta::tag_branch_kind(self.meta.tag(i)) else {
+                    continue;
+                };
                 self.preds
                     .btb
                     .insert(self.meta.addr_of(i), kind, self.meta.target(i));
@@ -663,8 +672,9 @@ impl<'p> Simulator<'p> {
                 break;
             }
             if head.is_drained() {
-                let e = self.ftq.pop_head().expect("head exists");
-                self.classify_exposure(&e);
+                if let Some(e) = self.ftq.pop_head() {
+                    self.classify_exposure(&e);
+                }
                 continue;
             }
             let slot = head.fetched_upto;
@@ -711,8 +721,9 @@ impl<'p> Simulator<'p> {
                         });
                         // The rest of the head entry and everything
                         // younger is flushed.
-                        let e = self.ftq.pop_head().expect("head exists");
-                        self.classify_exposure(&e);
+                        if let Some(e) = self.ftq.pop_head() {
+                            self.classify_exposure(&e);
+                        }
                         self.ftq.flush_all();
                         break;
                     }
@@ -753,8 +764,9 @@ impl<'p> Simulator<'p> {
                 });
             }
             if drained {
-                let e = self.ftq.pop_head().expect("head exists");
-                self.classify_exposure(&e);
+                if let Some(e) = self.ftq.pop_head() {
+                    self.classify_exposure(&e);
+                }
             }
             fetched += 1;
         }
@@ -881,7 +893,7 @@ impl<'p> Simulator<'p> {
                 }
             }
             {
-                let e = open.as_mut().expect("block open");
+                let Some(e) = open.as_mut() else { break };
                 if slot_seq.is_some() && e.matched == offset - e.start_offset() {
                     if e.first_seq.is_none() {
                         e.first_seq = slot_seq;
@@ -895,30 +907,31 @@ impl<'p> Simulator<'p> {
             let actual_branch = meta::tag_branch_kind(tag);
 
             // --- BTB (16 slots/cycle readout; every slot probed).
-            let (detected, btb_kind, btb_target) = if self.cfg.perfect_btb {
-                let known =
-                    slot_idx.is_some_and(|i| self.perfect_btb_bits[i / 64] >> (i % 64) & 1 == 1);
-                match (known, actual_branch) {
-                    (true, Some(kind)) => {
+            let btb_hit: Option<(BranchKind, Addr)> = if self.cfg.perfect_btb {
+                let visible = slot_idx.filter(|&i| {
+                    self.perfect_btb_bits
+                        .get(i / 64)
+                        .is_some_and(|w| w >> (i % 64) & 1 == 1)
+                });
+                match (visible, actual_branch) {
+                    (Some(i), Some(kind)) => {
                         // Indirect targets are not in the instruction
                         // word; a perfect BTB still remembers the last
                         // observed target like a real one.
-                        let embedded = self.meta.target(slot_idx.expect("known implies mapped"));
+                        let embedded = self.meta.target(i);
                         let target = if embedded.is_null() {
                             self.preds.btb.lookup(pc).map_or(Addr::NULL, |e| e.target)
                         } else {
                             embedded
                         };
-                        (true, Some(kind), target)
+                        Some((kind, target))
                     }
-                    _ => (false, None, Addr::NULL),
+                    _ => None,
                 }
             } else {
-                match self.preds.btb.lookup(pc) {
-                    Some(e) => (true, Some(e.kind), e.target),
-                    None => (false, None, Addr::NULL),
-                }
+                self.preds.btb.lookup(pc).map(|e| (e.kind, e.target))
             };
+            let detected = btb_hit.is_some();
 
             // --- Direction prediction. Hardware predicts every slot
             // (EV8-style); only actual-branch slots consume the result,
@@ -972,8 +985,7 @@ impl<'p> Simulator<'p> {
             let mut predicted_target = Addr::NULL;
             let mut next = pc.next_instr();
 
-            if detected {
-                let k = btb_kind.expect("detected implies kind");
+            if let Some((k, btb_target)) = btb_hit {
                 let mut taken = if k.is_conditional() {
                     tage_pred.taken
                 } else {
@@ -1031,7 +1043,7 @@ impl<'p> Simulator<'p> {
 
             // --- Record into the open block.
             {
-                let e = open.as_mut().expect("block open");
+                let Some(e) = open.as_mut() else { break };
                 e.end_offset = offset;
                 if hint {
                     e.hints |= 1 << offset;
@@ -1057,7 +1069,7 @@ impl<'p> Simulator<'p> {
             cursor = next;
 
             if predicted_taken {
-                let mut e = open.take().expect("block open");
+                let Some(mut e) = open.take() else { break };
                 e.predicted_taken = true;
                 e.next_block = next;
                 self.push_ftq(e);
@@ -1065,7 +1077,7 @@ impl<'p> Simulator<'p> {
                     break;
                 }
             } else if offset == 7 {
-                let mut e = open.take().expect("block open");
+                let Some(mut e) = open.take() else { break };
                 e.next_block = next;
                 self.push_ftq(e);
             }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! `fdip-exec` — the bounded work-stealing job pool behind every
 //! simulation sweep.
@@ -135,6 +136,9 @@ impl Shared {
     /// (before it signals batch completion, so a submitter that returns
     /// from `run_batch` always observes its jobs in the stats).
     fn execute(&self, job: Job) {
+        // busy_now/peak_busy are advisory occupancy gauges: no reader
+        // derives a happens-before edge from them, so Relaxed is sound
+        // (allowlisted in lint-allow.txt).
         let busy = self.counters.busy_now.fetch_add(1, Ordering::Relaxed) + 1;
         self.counters.peak_busy.fetch_max(busy, Ordering::Relaxed);
         job();
@@ -247,14 +251,18 @@ impl Pool {
                 st.injector.push_back(Box::new(move || {
                     let t0 = Instant::now();
                     let result = catch_unwind(AssertUnwindSafe(f));
+                    // Release pairs with the Acquire loads in `stats()`:
+                    // a submitter that saw its batch complete (via the
+                    // slots/remaining mutexes) then calls `stats()` must
+                    // observe these increments.
                     shared
                         .counters
                         .busy_ns
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Release);
                     shared
                         .counters
                         .jobs_completed
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Release);
                     lock(&batch.slots)[i] = Some(result);
                     let mut rem = lock(&batch.remaining);
                     *rem -= 1;
@@ -329,11 +337,13 @@ impl Pool {
     /// A snapshot of the pool's lifetime telemetry.
     pub fn stats(&self) -> PoolStats {
         let elapsed = self.created.elapsed().as_secs_f64().max(1e-9);
-        let jobs = self.shared.counters.jobs_completed.load(Ordering::Relaxed);
-        let busy_s = self.shared.counters.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        // Acquire pairs with the Release increments in the batch wrapper.
+        let jobs = self.shared.counters.jobs_completed.load(Ordering::Acquire);
+        let busy_s = self.shared.counters.busy_ns.load(Ordering::Acquire) as f64 / 1e9;
         PoolStats {
             workers: self.threads(),
             jobs_completed: jobs,
+            // Advisory gauge; see `execute` (allowlisted).
             peak_busy: self.shared.counters.peak_busy.load(Ordering::Relaxed),
             busy_fraction: (busy_s / (elapsed * self.threads() as f64)).min(1.0),
             jobs_per_sec: jobs as f64 / elapsed,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Experiment harness: regenerates every table and figure of the paper's
 //! evaluation section on the synthetic workload suite.

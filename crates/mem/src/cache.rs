@@ -216,14 +216,6 @@ impl Cache {
         Some(l)
     }
 
-    fn outcomes_mut(&mut self, src: FillSrc) -> &mut PrefetchOutcomes {
-        match src {
-            FillSrc::Fdp => &mut self.stats.outcomes_fdp,
-            FillSrc::Pf => &mut self.stats.outcomes_pf,
-            FillSrc::Demand => unreachable!("demand fills have no prefetch outcome"),
-        }
-    }
-
     /// Demand probe: updates LRU, counts stats, detects useful prefetches.
     pub fn probe_demand(&mut self, line: u64, now: Cycle) -> Lookup {
         self.stats.tag_probes += 1;
@@ -246,7 +238,12 @@ impl Cache {
             let pending = self.pending.get(line);
             if let Some(src) = used {
                 let in_flight = matches!(pending, Some(r) if r > now);
-                let o = self.outcomes_mut(src);
+                // `used` is only ever Fdp or Pf (set when the hit line's
+                // source was not Demand).
+                let o = match src {
+                    FillSrc::Fdp => &mut self.stats.outcomes_fdp,
+                    _ => &mut self.stats.outcomes_pf,
+                };
                 if in_flight {
                     o.late += 1;
                 } else {
@@ -359,20 +356,21 @@ impl Cache {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("set not empty");
-            let victim = ways.swap_remove(victim_idx);
-            self.pending.remove(victim.tag);
-            self.stats.evictions += 1;
-            if victim.src != FillSrc::Demand {
-                let o = match victim.src {
-                    FillSrc::Fdp => &mut self.stats.outcomes_fdp,
-                    _ => &mut self.stats.outcomes_pf,
-                };
-                if src == FillSrc::Demand {
-                    o.useless_evicted += 1;
-                } else {
-                    o.useless_replaced += 1;
+                .map(|(i, _)| i);
+            if let Some(victim_idx) = victim_idx {
+                let victim = ways.swap_remove(victim_idx);
+                self.pending.remove(victim.tag);
+                self.stats.evictions += 1;
+                if victim.src != FillSrc::Demand {
+                    let o = match victim.src {
+                        FillSrc::Fdp => &mut self.stats.outcomes_fdp,
+                        _ => &mut self.stats.outcomes_pf,
+                    };
+                    if src == FillSrc::Demand {
+                        o.useless_evicted += 1;
+                    } else {
+                        o.useless_replaced += 1;
+                    }
                 }
             }
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Memory-hierarchy substrate for the FDIP reproduction.
 //!

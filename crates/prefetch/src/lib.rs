@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Instruction prefetchers for the FDIP reproduction.
 //!

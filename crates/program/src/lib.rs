@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Synthetic program model and workload generator for the FDIP
 //! reproduction.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Telemetry substrate for the FDIP reproduction: the machine-readable
 //! side of the paper's evaluation (§VI).

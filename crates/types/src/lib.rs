@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Shared vocabulary types for the FDIP (Fetch-Directed Instruction
 //! Prefetching) reproduction.

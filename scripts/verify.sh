@@ -8,6 +8,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> fdip-lint --deny"
+# The workspace's own static-analysis gate (docs/ANALYSIS.md) runs
+# first: it needs no build artifacts beyond the lint binary and catches
+# invariant violations (determinism hazards, hot-path panics, schema
+# drift, unsafe, relaxed executor atomics) before the expensive steps.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q --release --offline -p fdip-analysis --bin fdip-lint -- \
+  --deny --json "$tmp/lint.json"
+# Document 5 smoke: the report is parseable JSON with the documented
+# envelope (the bidirectional check lives in tests/lint_doc.rs).
+grep -q '"schema_version"' "$tmp/lint.json"
+grep -q '"tool": "fdip-lint"' "$tmp/lint.json"
+echo "    lint clean under --deny, lint.json written"
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 
@@ -21,8 +36,6 @@ echo "==> determinism smoke: FDIP_JOBS=1 vs FDIP_JOBS=2"
 # A quick-suite experiments run must produce byte-identical JSON for any
 # worker count once the volatile manifest fields are stripped
 # (docs/METRICS.md: wall_seconds, generated_unix, git_revision, pool).
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
 for jobs in 1 2; do
   FDIP_SUITE=quick FDIP_WARMUP=2000 FDIP_INSTRS=10000 FDIP_JOBS="$jobs" \
     ./target/release/fdip-experiments --json "$tmp/j$jobs.json" fig7 fig9 \

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Umbrella crate for the FDIP reproduction workspace.
 //!
 //! Re-exports the public API of every member crate so examples and

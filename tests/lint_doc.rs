@@ -1,0 +1,110 @@
+//! Schema/documentation coverage for Document 5 (`lint.json`): every
+//! key `fdip-lint --json` emits must be documented in
+//! `docs/METRICS.md`, and the documented report shape must actually be
+//! emitted — the same bidirectional guard `tests/metrics_doc.rs`
+//! applies to the harness documents.
+
+use fdip_analysis::allow::Allowlist;
+use fdip_analysis::{lint_workspace, ALLOWLIST_PATH};
+use fdip_telemetry::{Json, SCHEMA_VERSION};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn collect_keys(v: &Json, keys: &mut BTreeSet<String>) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                keys.insert(k.clone());
+                collect_keys(child, keys);
+            }
+        }
+        Json::Arr(items) => {
+            for item in items {
+                collect_keys(item, keys);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn lint_json() -> Json {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let allow_text =
+        std::fs::read_to_string(root.join(ALLOWLIST_PATH)).expect("lint-allow.txt exists");
+    let mut allowlist = Allowlist::parse(&allow_text).expect("allowlist parses");
+    lint_workspace(root, &mut allowlist)
+        .expect("workspace lints")
+        .to_json()
+}
+
+#[test]
+fn every_lint_json_field_is_documented() {
+    let emitted = lint_json();
+    assert_eq!(
+        emitted.get("schema_version").and_then(Json::as_u64),
+        Some(SCHEMA_VERSION)
+    );
+    let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/METRICS.md"))
+        .expect("docs/METRICS.md exists");
+    let mut keys = BTreeSet::new();
+    collect_keys(&emitted, &mut keys);
+    assert!(keys.len() > 10, "implausibly few keys in lint.json");
+    let undocumented: Vec<&String> = keys
+        .iter()
+        .filter(|k| !doc.contains(&format!("`{k}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "lint.json fields not documented in docs/METRICS.md: {undocumented:?} — \
+         document them (and bump schema_version on renames)"
+    );
+}
+
+#[test]
+fn documented_lint_report_shape_is_emitted() {
+    // Reverse direction: the blocks and fields Document 5 tabulates
+    // must actually exist in a real report.
+    let emitted = lint_json();
+    let lint = emitted.get("lint").expect("lint block");
+    assert_eq!(lint.get("tool").and_then(Json::as_str), Some("fdip-lint"));
+    for name in ["files_scanned", "passes", "findings", "summary"] {
+        assert!(lint.get(name).is_some(), "lint field {name} missing");
+    }
+    let passes = lint.get("passes").and_then(Json::as_arr).expect("passes");
+    let ids: BTreeSet<&str> = passes
+        .iter()
+        .filter_map(|p| p.get("id").and_then(Json::as_str))
+        .collect();
+    for id in [
+        "determinism",
+        "atomics",
+        "panic-audit",
+        "unsafe-forbid",
+        "schema-drift",
+    ] {
+        assert!(ids.contains(id), "pass rollup for {id} missing: {ids:?}");
+    }
+    for p in passes {
+        for name in ["findings", "denied", "allowed"] {
+            assert!(p.get(name).is_some(), "pass rollup field {name} missing");
+        }
+    }
+    let summary = lint.get("summary").expect("summary block");
+    for name in ["errors", "warnings", "notes", "allowlisted", "denied"] {
+        assert!(summary.get(name).is_some(), "summary field {name} missing");
+    }
+    // The tree at HEAD holds the --deny bar.
+    assert_eq!(summary.get("denied").and_then(Json::as_u64), Some(0));
+    // Findings entries carry the documented positional fields.
+    if let Some(f) = lint
+        .get("findings")
+        .and_then(Json::as_arr)
+        .and_then(|a| a.first())
+    {
+        for name in [
+            "pass", "file", "line", "col", "severity", "needle", "message",
+        ] {
+            assert!(f.get(name).is_some(), "finding field {name} missing");
+        }
+    }
+}

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
 //! benchmark harness.
 //!

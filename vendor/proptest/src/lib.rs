@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
 //! property-testing crate.
 //!

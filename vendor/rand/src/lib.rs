@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
 //!
 //! The build environment for this repository has no network access and no
