@@ -16,7 +16,7 @@
 //! | `atomics` | no `Ordering::Relaxed` on executor atomics without justification |
 //! | `panic-audit` | no `unwrap`/`expect`/`panic!` in the hot-path modules |
 //! | `unsafe-forbid` | the workspace stays `unsafe`-free |
-//! | `schema-drift` | every emitted JSON key is documented in `docs/METRICS.md` |
+//! | `schema-drift` | every emitted JSON key is documented in `docs/METRICS.md` (serve/wire code may document keys in `docs/SERVE.md`) |
 //!
 //! The architecture is a hand-rolled lexer ([`lexer`]) — comments,
 //! strings, char-vs-lifetime, idents; deliberately not a parser — a
@@ -94,7 +94,11 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
 /// `(file, line, col, pass)`.
 pub fn lint_workspace(root: &Path, allowlist: &mut Allowlist) -> std::io::Result<LintOutcome> {
     let metrics_doc = std::fs::read_to_string(root.join("docs/METRICS.md")).unwrap_or_default();
-    let ctx = PassCtx { metrics_doc };
+    let serve_doc = std::fs::read_to_string(root.join("docs/SERVE.md")).unwrap_or_default();
+    let ctx = PassCtx {
+        metrics_doc,
+        serve_doc,
+    };
     let passes = registry();
     let files = collect_files(root)?;
     let mut findings = Vec::new();

@@ -15,6 +15,10 @@ pub struct PassCtx {
     /// Contents of `docs/METRICS.md` (empty when missing, which makes
     /// every emitted key a finding — the doc is part of the contract).
     pub metrics_doc: String,
+    /// Contents of `docs/SERVE.md` — the wire-protocol contract. Keys
+    /// emitted by the serve daemon and its client codec may be
+    /// documented here instead of in `docs/METRICS.md`.
+    pub serve_doc: String,
 }
 
 /// One source file, lexed.
@@ -80,7 +84,15 @@ const RESULT_CRATES: &[&str] = &[
     "crates/harness/src/",
     "crates/prefetch/src/",
     "crates/types/src/",
+    "crates/serve/src/",
 ];
+
+/// Files allowed to document their emitted keys in `docs/SERVE.md`
+/// (the wire-protocol spec) instead of `docs/METRICS.md`: the serve
+/// daemon and the client-side codec in the harness.
+fn uses_serve_doc(path: &str) -> bool {
+    path.starts_with("crates/serve/src/") || path == "crates/harness/src/remote.rs"
+}
 
 /// Hot-path modules where a panic or a missed bound costs correctness
 /// or throughput on every simulated cycle.
@@ -357,7 +369,15 @@ fn schema_drift(ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
         if key.kind != TokKind::Str || key.text.is_empty() {
             continue;
         }
-        if !ctx.metrics_doc.contains(&format!("`{}`", key.text)) {
+        let needle = format!("`{}`", key.text);
+        let documented = ctx.metrics_doc.contains(&needle)
+            || (uses_serve_doc(&src.path) && ctx.serve_doc.contains(&needle));
+        if !documented {
+            let where_ = if uses_serve_doc(&src.path) {
+                "docs/METRICS.md or docs/SERVE.md"
+            } else {
+                "docs/METRICS.md"
+            };
             out.push(finding(
                 "schema-drift",
                 &src.path,
@@ -365,7 +385,7 @@ fn schema_drift(ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
                 Severity::Error,
                 &key.text,
                 format!(
-                    "emitted JSON key \"{}\" is not documented in docs/METRICS.md — \
+                    "emitted JSON key \"{}\" is not documented in {where_} — \
                      document it (and bump schema_version on renames)",
                     key.text
                 ),
@@ -380,8 +400,19 @@ mod tests {
     use crate::lexer::lex;
 
     fn run_pass(id: &str, path: &str, code: &str, doc: &str) -> Vec<Finding> {
+        run_pass_with_serve(id, path, code, doc, "")
+    }
+
+    fn run_pass_with_serve(
+        id: &str,
+        path: &str,
+        code: &str,
+        doc: &str,
+        serve_doc: &str,
+    ) -> Vec<Finding> {
         let ctx = PassCtx {
             metrics_doc: doc.to_string(),
+            serve_doc: serve_doc.to_string(),
         };
         let src = SourceFile {
             path: path.to_string(),
@@ -522,5 +553,43 @@ mod tests {
         assert!(run_pass("schema-drift", "vendor/criterion/src/lib.rs", code, doc).is_empty());
         let in_test = "#[cfg(test)]\nmod tests { fn t() { Json::obj().with(\"zzz\", 1); } }";
         assert!(run_pass("schema-drift", "crates/telemetry/src/json.rs", in_test, doc).is_empty());
+    }
+
+    #[test]
+    fn schema_drift_lets_serve_code_document_keys_in_serve_md() {
+        let code = "fn j() -> Json { Json::obj().with(\"grid_id\", 1).with(\"ipc\", 1.0) }";
+        let metrics = "| `ipc` | instructions per cycle |";
+        let serve = "| `grid_id` | content hash of the grid |";
+        // Serve daemon and the harness codec may use either doc.
+        for path in [
+            "crates/serve/src/scheduler.rs",
+            "crates/harness/src/remote.rs",
+        ] {
+            assert!(
+                run_pass_with_serve("schema-drift", path, code, metrics, serve).is_empty(),
+                "{path}"
+            );
+            let hits = run_pass_with_serve("schema-drift", path, code, metrics, "");
+            assert_eq!(hits.len(), 1, "{path}");
+            assert_eq!(hits[0].needle, "grid_id");
+        }
+        // Everything else must still use docs/METRICS.md exclusively.
+        let hits = run_pass_with_serve(
+            "schema-drift",
+            "crates/core/src/stats.rs",
+            code,
+            metrics,
+            serve,
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].needle, "grid_id");
+    }
+
+    #[test]
+    fn determinism_covers_the_serve_crate() {
+        let code = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let hits = run_pass("determinism", "crates/serve/src/telemetry.rs", code, "");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|f| f.needle == "Instant"));
     }
 }

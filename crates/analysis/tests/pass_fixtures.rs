@@ -20,6 +20,7 @@ fn fixture(name: &str) -> String {
 fn run_pass_on(pass_id: &str, path: &str, source: &str, metrics_doc: &str) -> Vec<Finding> {
     let ctx = PassCtx {
         metrics_doc: metrics_doc.to_string(),
+        serve_doc: String::new(),
     };
     let src = SourceFile {
         path: path.to_string(),

@@ -427,6 +427,110 @@ fn outcome_coverage(o: &PrefetchOutcomes, demand_misses: u64) -> f64 {
     used as f64 / (used + demand_misses) as f64
 }
 
+/// Required `u64` field lookup for the `from_json` parsers.
+fn req_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key)?.as_u64()
+}
+
+fn outcomes_from_json(v: &Json) -> Option<PrefetchOutcomes> {
+    Some(PrefetchOutcomes {
+        requests: req_u64(v, "requests")?,
+        timely: req_u64(v, "timely")?,
+        late: req_u64(v, "late")?,
+        useless_evicted: req_u64(v, "useless_evicted")?,
+        useless_replaced: req_u64(v, "useless_replaced")?,
+        dropped: req_u64(v, "dropped")?,
+    })
+}
+
+fn cache_from_json(v: &Json) -> Option<CacheStats> {
+    let outcomes = v.get("prefetch_outcomes")?;
+    Some(CacheStats {
+        demand_accesses: req_u64(v, "demand_accesses")?,
+        demand_hits: req_u64(v, "demand_hits")?,
+        demand_misses: req_u64(v, "demand_misses")?,
+        demand_merged: req_u64(v, "demand_merged")?,
+        prefetch_requests: req_u64(v, "prefetch_requests")?,
+        prefetch_fills: req_u64(v, "prefetch_fills")?,
+        prefetch_dropped: req_u64(v, "prefetch_dropped")?,
+        useful_prefetches: req_u64(v, "useful_prefetches")?,
+        tag_probes: req_u64(v, "tag_probes")?,
+        evictions: req_u64(v, "evictions")?,
+        outcomes_fdp: outcomes_from_json(outcomes.get("fdp")?)?,
+        outcomes_pf: outcomes_from_json(outcomes.get("pf")?)?,
+    })
+}
+
+fn stall_from_json(v: &Json) -> Option<StallCycles> {
+    Some(StallCycles {
+        committing: req_u64(v, "committing")?,
+        backend: req_u64(v, "backend")?,
+        fetch_bw: req_u64(v, "fetch_bw")?,
+        icache_miss: req_u64(v, "icache_miss")?,
+        ftq_empty: req_u64(v, "ftq_empty")?,
+        pred_latency: req_u64(v, "pred_latency")?,
+        redirect: req_u64(v, "redirect")?,
+        pfc_restream: req_u64(v, "pfc_restream")?,
+    })
+}
+
+impl SimStats {
+    /// Reconstructs the raw counters from a [`ToJson`] document.
+    ///
+    /// The inverse of [`SimStats::to_json`] for the `counters` block;
+    /// the `derived` block is ignored because every derived metric is a
+    /// pure function of the counters and is recomputed on demand. Thus
+    /// `SimStats::from_json(&s.to_json()) == Some(s)` exactly — the
+    /// property the `fdip-serve` result cache relies on. Returns `None`
+    /// if any counter field is missing or mistyped.
+    pub fn from_json(v: &Json) -> Option<SimStats> {
+        let c = v.get("counters")?;
+        Some(SimStats {
+            cycles: req_u64(c, "cycles")?,
+            retired: req_u64(c, "retired")?,
+            retired_branches: req_u64(c, "retired_branches")?,
+            retired_cond: req_u64(c, "retired_cond")?,
+            mispredicts: req_u64(c, "mispredicts")?,
+            misp_cond_dir: req_u64(c, "misp_cond_dir")?,
+            misp_undetected: req_u64(c, "misp_undetected")?,
+            misp_indirect: req_u64(c, "misp_indirect")?,
+            misp_return: req_u64(c, "misp_return")?,
+            flushes: req_u64(c, "flushes")?,
+            pfc_restreams: req_u64(c, "pfc_restreams")?,
+            pfc_case1: req_u64(c, "pfc_case1")?,
+            pfc_case2: req_u64(c, "pfc_case2")?,
+            pfc_harmful: req_u64(c, "pfc_harmful")?,
+            fixup_flushes: req_u64(c, "fixup_flushes")?,
+            starvation_cycles: req_u64(c, "starvation_cycles")?,
+            ftq_occupancy_sum: req_u64(c, "ftq_occupancy_sum")?,
+            miss_covered: req_u64(c, "miss_covered")?,
+            miss_partial: req_u64(c, "miss_partial")?,
+            miss_full: req_u64(c, "miss_full")?,
+            prefetch_candidates: req_u64(c, "prefetch_candidates")?,
+            stall: stall_from_json(c.get("stall_cycles")?)?,
+            l1i: cache_from_json(c.get("l1i")?)?,
+            l1d: cache_from_json(c.get("l1d")?)?,
+            l2: cache_from_json(c.get("l2")?)?,
+            traffic: {
+                let t = c.get("traffic")?;
+                TrafficStats {
+                    dram_accesses: req_u64(t, "dram_accesses")?,
+                    prefetch_traffic: req_u64(t, "prefetch_traffic")?,
+                    ifetch_wait_cycles: req_u64(t, "ifetch_wait_cycles")?,
+                }
+            },
+            btb: {
+                let b = c.get("btb")?;
+                BtbStats {
+                    lookups: req_u64(b, "lookups")?,
+                    hits: req_u64(b, "hits")?,
+                    allocs: req_u64(b, "allocs")?,
+                }
+            },
+        })
+    }
+}
+
 fn outcomes_json(o: &PrefetchOutcomes) -> Json {
     Json::obj()
         .with("requests", o.requests)
@@ -610,6 +714,25 @@ mod tests {
                 .abs()
                 < 1e-9
         );
+    }
+
+    #[test]
+    fn from_json_inverts_to_json_exactly() {
+        let mut s = sample();
+        s.stall.charge(StallReason::IcacheMiss);
+        s.l1i.outcomes_fdp.requests = 9;
+        s.l1i.outcomes_fdp.timely = 4;
+        s.l1d.demand_accesses = 77;
+        s.l2.evictions = 3;
+        s.traffic.dram_accesses = 12;
+        s.btb.lookups = 500;
+        s.btb.hits = 480;
+        let parsed = Json::parse(&s.to_json().to_string()).unwrap();
+        assert_eq!(SimStats::from_json(&parsed), Some(s));
+        // A document missing a counter is rejected rather than zeroed.
+        let c = parsed.get("counters").unwrap().clone();
+        let truncated = Json::obj().with("counters", c.with("cycles", Json::Null));
+        assert_eq!(SimStats::from_json(&truncated), None);
     }
 
     #[test]

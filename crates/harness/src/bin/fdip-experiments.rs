@@ -6,6 +6,7 @@
 //! fdip-experiments --list        # show ids
 //! fdip-experiments --json results.json all
 //! fdip-experiments --jobs 4 all  # bound the worker pool
+//! fdip-experiments --server 127.0.0.1:7070 all  # route grids to fdip-serve
 //! ```
 //!
 //! Scale via `FDIP_INSTRS`, `FDIP_WARMUP`, `FDIP_SUITE=quick|full`;
@@ -35,6 +36,15 @@ fn main() {
         json_path = Some(args.remove(i + 1));
         args.remove(i);
     }
+    let mut server = std::env::var("FDIP_SERVER").ok().filter(|a| !a.is_empty());
+    if let Some(i) = args.iter().position(|a| a == "--server") {
+        if i + 1 >= args.len() {
+            eprintln!("--server needs an address (host:port)");
+            std::process::exit(2);
+        }
+        server = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     // --jobs must be handled before anything touches the global pool.
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         if i + 1 >= args.len() {
@@ -51,7 +61,7 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: fdip-experiments [--list] [--json <path>] [--jobs <n>] \
-             <all | fig1 tab3 tab4 fig6a fig6b fig7..fig14>"
+             [--server <host:port>] <all | fig1 tab3 tab4 fig6a fig6b fig7..fig14>"
         );
         std::process::exit(2);
     }
@@ -76,7 +86,11 @@ fn main() {
     };
 
     let t0 = Instant::now();
-    let runner = Runner::from_env();
+    let mut runner = Runner::from_env();
+    if let Some(addr) = &server {
+        runner = runner.with_server(addr, "fdip-experiments");
+        println!("server: {addr} (grids served remotely, local fallback)");
+    }
     println!(
         "suite: {} workloads [{}], pool: {} workers\n",
         runner.len(),

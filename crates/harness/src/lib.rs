@@ -25,11 +25,13 @@
 
 pub mod bench;
 pub mod experiments;
+pub mod remote;
 mod report;
 mod runner;
 mod suite;
 
 pub use bench::{BenchBaseline, BenchResult, BenchWorkload};
+pub use remote::RemoteClient;
 pub use report::{Report, Table};
 pub use runner::{geomean, Runner};
 pub use suite::{SuiteResult, WorkloadResult};

@@ -9,8 +9,10 @@
 //! indexed slots — suite order, never completion order — which keeps
 //! sweeps deterministic for any `FDIP_JOBS` setting.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::remote::RemoteClient;
 use crate::suite::{SuiteResult, WorkloadResult};
 use fdip_exec::Pool;
 use fdip_program::workload::{self, Workload};
@@ -36,6 +38,12 @@ pub struct Runner {
     /// Private pool override; `None` uses the process-wide
     /// [`fdip_exec::global`] pool (sized by `FDIP_JOBS`/`--jobs`).
     pool: Option<Arc<Pool>>,
+    /// Optional `fdip-serve` daemon; grids for the named `quick`/`full`
+    /// suites are routed there instead of the local pool.
+    remote: Option<RemoteClient>,
+    /// Set after the first failed remote grid: later grids go straight
+    /// to local execution instead of re-trying a dead daemon.
+    remote_failed: AtomicBool,
 }
 
 impl Runner {
@@ -54,6 +62,8 @@ impl Runner {
             measure,
             suite_name: "custom".to_string(),
             pool: None,
+            remote: None,
+            remote_failed: AtomicBool::new(false),
         }
     }
 
@@ -75,6 +85,49 @@ impl Runner {
     /// The pool executing this runner's simulation jobs.
     pub fn pool(&self) -> &Pool {
         self.pool.as_deref().unwrap_or_else(|| fdip_exec::global())
+    }
+
+    /// Routes grids for the named `quick`/`full` suites to the
+    /// `fdip-serve` daemon at `addr`, identifying as `client` in its
+    /// per-client telemetry. Custom suites (which the daemon cannot
+    /// rebuild by name) and any daemon failure fall back to local
+    /// execution; results are byte-identical either way, because the
+    /// daemon runs the same deterministic simulation and its wire codec
+    /// round-trips every counter and float exactly.
+    #[must_use]
+    pub fn with_server(mut self, addr: &str, client: &str) -> Self {
+        self.remote = Some(RemoteClient::new(addr, client));
+        self
+    }
+
+    /// The remote grid path: `Some(grid)` if the whole sweep was served,
+    /// `None` if the caller must run locally.
+    fn try_remote(&self, cfgs: &[CoreConfig]) -> Option<Vec<Vec<(SimStats, SimDists)>>> {
+        let remote = self.remote.as_ref()?;
+        if !matches!(self.suite_name.as_str(), "quick" | "full") {
+            return None;
+        }
+        if self.remote_failed.load(Ordering::Acquire) {
+            return None;
+        }
+        match remote.run_grid(
+            &self.suite_name,
+            self.warmup,
+            self.measure,
+            cfgs,
+            self.len(),
+        ) {
+            Ok(grid) => Some(grid),
+            Err(e) => {
+                if !self.remote_failed.swap(true, Ordering::AcqRel) {
+                    eprintln!(
+                        "fdip-serve at {}: {e}; falling back to local execution",
+                        remote.addr()
+                    );
+                }
+                None
+            }
+        }
     }
 
     /// Builds the default runner from the environment:
@@ -163,6 +216,12 @@ impl Runner {
 
     /// Like [`Runner::run_configs`], but with distribution telemetry.
     pub fn run_configs_detailed(&self, cfgs: &[CoreConfig]) -> Vec<Vec<(SimStats, SimDists)>> {
+        if cfgs.is_empty() {
+            return Vec::new();
+        }
+        if let Some(grid) = self.try_remote(cfgs) {
+            return grid;
+        }
         let (warmup, measure) = (self.warmup, self.measure);
         let mut jobs = Vec::with_capacity(cfgs.len() * self.workloads.len());
         for cfg in cfgs {

@@ -1,0 +1,121 @@
+//! `fdip-serve` — run the sweep daemon, or poke one with `ctl`.
+//!
+//! ```text
+//! fdip-serve [--addr 127.0.0.1:0] [--state-dir DIR] [--jobs N]
+//!            [--max-grids N] [--grid-timeout-ms T] [--port-file PATH]
+//! fdip-serve ctl <host:port> healthz|progress|telemetry|shutdown
+//! ```
+//!
+//! The daemon prints its actual bound address on startup (and writes it
+//! to `--port-file` when given, so scripts binding port 0 can find it)
+//! and runs until a client posts `/v1/shutdown` — which `ctl shutdown`
+//! does. `ctl` prints the endpoint's JSON response and exits nonzero on
+//! any non-200 status, so it doubles as a health probe.
+
+use std::path::PathBuf;
+
+use fdip_harness::remote::{
+    http_json_request, HEALTHZ_PATH, PROGRESS_PATH, SHUTDOWN_PATH, TELEMETRY_PATH,
+};
+use fdip_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fdip-serve [--addr <host:port>] [--state-dir <dir>] [--jobs <n>]\n\
+         \x20                 [--max-grids <n>] [--grid-timeout-ms <ms>] [--port-file <path>]\n\
+         \x20      fdip-serve ctl <host:port> healthz|progress|telemetry|shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn ctl(args: &[String]) -> ! {
+    let (addr, verb) = match args {
+        [addr, verb] => (addr.as_str(), verb.as_str()),
+        _ => usage(),
+    };
+    let (method, path) = match verb {
+        "healthz" => ("GET", HEALTHZ_PATH),
+        "progress" => ("GET", PROGRESS_PATH),
+        "telemetry" => ("GET", TELEMETRY_PATH),
+        "shutdown" => ("POST", SHUTDOWN_PATH),
+        _ => usage(),
+    };
+    match http_json_request(addr, method, path, None) {
+        Ok((status, body)) => {
+            println!("{}", body.to_string_pretty());
+            std::process::exit(if status == 200 { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("fdip-serve ctl: {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "ctl") {
+        ctl(&args[1..]);
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+
+    let mut config = ServerConfig::new(PathBuf::from("fdip-serve-state"));
+    let mut port_file: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--state-dir" => config.state_dir = PathBuf::from(value("--state-dir")),
+            "--jobs" => match value("--jobs").parse() {
+                Ok(n) => config.jobs = Some(n),
+                Err(_) => {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--max-grids" => match value("--max-grids").parse() {
+                Ok(n) => config.max_inflight_grids = n,
+                Err(_) => {
+                    eprintln!("--max-grids needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--grid-timeout-ms" => match value("--grid-timeout-ms").parse() {
+                Ok(n) => config.grid_timeout_ms = n,
+                Err(_) => {
+                    eprintln!("--grid-timeout-ms needs a millisecond count");
+                    std::process::exit(2);
+                }
+            },
+            "--port-file" => port_file = Some(PathBuf::from(value("--port-file"))),
+            _ => usage(),
+        }
+    }
+
+    let state_dir = config.state_dir.clone();
+    let server = Server::spawn(config).unwrap_or_else(|e| {
+        eprintln!("fdip-serve: cannot start: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("fdip-serve: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "fdip-serve listening on {addr} (state: {})",
+        state_dir.display()
+    );
+    server.join();
+    println!("fdip-serve drained, exiting");
+}

@@ -1,0 +1,232 @@
+//! Minimal HTTP/1.1 server plumbing on `std::net`: request parsing,
+//! response writing, and the service error type.
+//!
+//! The daemon speaks exactly the dialect `fdip_harness::remote` sends —
+//! one request per connection, `Content-Length` bodies, no keep-alive,
+//! no chunked transfer — which keeps both ends tiny and auditable. The
+//! wire contract is specified in `docs/SERVE.md`.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use fdip_telemetry::{Json, SCHEMA_VERSION};
+
+/// A service-level error: an HTTP status plus the machine-readable
+/// `error.code` the response body carries (`docs/SERVE.md` lists the
+/// codes).
+#[derive(Clone, Debug)]
+pub struct ServeError {
+    /// HTTP status code of the response.
+    pub status: u16,
+    /// Stable machine-readable code (e.g. `bad_request`, `busy`).
+    pub code: &'static str,
+    /// Human-readable detail, for operators.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Builds an error from its three parts.
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> ServeError {
+        ServeError {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// `400 bad_request` — malformed or invalid request body.
+    pub fn bad_request(message: impl Into<String>) -> ServeError {
+        ServeError::new(400, "bad_request", message)
+    }
+
+    /// The `{schema_version, error: {code, message}}` response body.
+    pub fn to_json(&self) -> Json {
+        Json::obj().with("schema_version", SCHEMA_VERSION).with(
+            "error",
+            Json::obj()
+                .with("code", self.code)
+                .with("message", self.message.as_str()),
+        )
+    }
+}
+
+/// One parsed request: method, path, and the JSON body (`Json::Null`
+/// when the body is empty).
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// HTTP method (`GET`/`POST`).
+    pub method: String,
+    /// Request path (e.g. `/v1/grid`).
+    pub path: String,
+    /// Parsed JSON body, `Json::Null` if the request carried none.
+    pub body: Json,
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// `read_timeout` bounds how long a slow or stalled client can hold the
+/// connection; `max_body` bounds the declared body size (`413` beyond
+/// it). Any I/O or parse failure maps to a [`ServeError`] the caller
+/// writes back.
+pub fn read_request(
+    stream: &TcpStream,
+    max_body: usize,
+    read_timeout: Duration,
+) -> Result<Request, ServeError> {
+    stream
+        .set_read_timeout(Some(read_timeout))
+        .map_err(|e| ServeError::new(500, "internal", format!("set_read_timeout: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| map_io("request line", &e))?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => {
+            return Err(ServeError::bad_request(format!(
+                "bad request line {line:?}"
+            )))
+        }
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| map_io("headers", &e))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    ServeError::bad_request(format!("bad content-length {value:?}"))
+                })?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(ServeError::new(
+            413,
+            "too_large",
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut buf = vec![0u8; content_length];
+    reader
+        .read_exact(&mut buf)
+        .map_err(|e| map_io("body", &e))?;
+    let body = if buf.is_empty() {
+        Json::Null
+    } else {
+        let text = String::from_utf8(buf)
+            .map_err(|e| ServeError::bad_request(format!("body is not utf-8: {e}")))?;
+        Json::parse(&text).map_err(|e| ServeError::bad_request(format!("body is not json: {e}")))?
+    };
+    Ok(Request { method, path, body })
+}
+
+fn map_io(stage: &str, e: &io::Error) -> ServeError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ServeError::new(
+            408,
+            "timeout",
+            format!("client stalled while sending {stage}"),
+        ),
+        _ => ServeError::bad_request(format!("reading {stage}: {e}")),
+    }
+}
+
+/// Writes one HTTP/1.1 response with a compact JSON body and closes the
+/// exchange (`Connection: close`). Write errors are returned for logging
+/// only — the connection is torn down either way.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &Json) -> io::Result<()> {
+    let payload = body.to_string();
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn exchange(raw: &str) -> Result<Request, ServeError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            s
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let req = read_request(&stream, 1024, Duration::from_secs(5));
+        drop(writer.join().unwrap());
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_json_body() {
+        let req = exchange(
+            "POST /v1/grid HTTP/1.1\r\nHost: x\r\nContent-Length: 13\r\n\r\n{\"a\": [1, 2]}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/grid");
+        assert_eq!(
+            req.body.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn empty_body_parses_as_null() {
+        let req = exchange("GET /v1/healthz HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+        assert_eq!(req.unwrap().body, Json::Null);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_413() {
+        let e = exchange("POST /v1/grid HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert_eq!((e.status, e.code), (413, "too_large"));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_400() {
+        let e = exchange("POST /v1/grid HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{").unwrap_err();
+        assert_eq!((e.status, e.code), (400, "bad_request"));
+    }
+
+    #[test]
+    fn error_body_carries_code_and_message() {
+        let j = ServeError::new(429, "busy", "try later").to_json();
+        let err = j.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("busy"));
+        assert_eq!(err.get("message").and_then(Json::as_str), Some("try later"));
+    }
+}

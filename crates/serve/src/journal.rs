@@ -1,0 +1,234 @@
+//! Write-ahead checkpoint journal: one JSON record per line, flushed
+//! per record, so a daemon killed mid-grid can resume on restart
+//! without re-simulating completed cells.
+//!
+//! Three record kinds (`docs/SERVE.md` §"Checkpoint journal"):
+//!
+//! * `{"op": "grid_begin", "grid_id": …, "request": {…}}` — the full
+//!   grid request, written before any cell runs;
+//! * `{"op": "cell_done", "grid_id": …, "cell": …}` — a cell's result
+//!   has been committed to the cache;
+//! * `{"op": "grid_end", "grid_id": …}` — the grid's response was
+//!   assembled; the grid no longer needs replay.
+//!
+//! On open, the journal is replayed (grids with a `grid_end`, or whose
+//! begin record is unreadable, drop out; a torn final line from a kill
+//! mid-write is skipped) and compacted down to the begin records of the
+//! incomplete grids. Cell-level progress needs no replay bookkeeping:
+//! completed cells are found in the content-addressed cache.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+use fdip_telemetry::Json;
+
+/// An append-only journal at `<state_dir>/journal.log`.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+/// One incomplete grid recovered from the journal: its id and the full
+/// original request body.
+#[derive(Clone, Debug)]
+pub struct Incomplete {
+    /// The grid's content-derived id.
+    pub grid_id: String,
+    /// The original `POST /v1/grid` request body.
+    pub request: Json,
+}
+
+impl Journal {
+    /// Opens the journal, replaying and compacting any existing log.
+    /// Returns the journal plus the grids that began but never ended —
+    /// in original submission order — for the caller to re-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the log cannot be read or rewritten.
+    pub fn open(path: PathBuf) -> io::Result<(Journal, Vec<Incomplete>)> {
+        let incomplete = match std::fs::read_to_string(&path) {
+            Ok(text) => replay(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        // Compact: only the incomplete begin records survive the rewrite.
+        let tmp = path.with_extension("log.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            for inc in &incomplete {
+                writeln!(f, "{}", begin_record(&inc.grid_id, &inc.request))?;
+            }
+        }
+        std::fs::rename(&tmp, &path)?;
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok((Journal { path, file }, incomplete))
+    }
+
+    /// Filesystem path of the log (for diagnostics).
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+
+    /// Records that a grid was accepted, before any of its cells run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the record cannot be appended.
+    pub fn grid_begin(&mut self, grid_id: &str, request: &Json) -> io::Result<()> {
+        writeln!(self.file, "{}", begin_record(grid_id, request))?;
+        self.file.flush()
+    }
+
+    /// Records that one cell's result reached the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the record cannot be appended.
+    pub fn cell_done(&mut self, grid_id: &str, cell: &str) -> io::Result<()> {
+        let rec = Json::obj()
+            .with("op", "cell_done")
+            .with("grid_id", grid_id)
+            .with("cell", cell);
+        writeln!(self.file, "{}", rec.to_string())?;
+        self.file.flush()
+    }
+
+    /// Records that a grid's response was fully assembled.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the record cannot be appended.
+    pub fn grid_end(&mut self, grid_id: &str) -> io::Result<()> {
+        let rec = Json::obj().with("op", "grid_end").with("grid_id", grid_id);
+        writeln!(self.file, "{}", rec.to_string())?;
+        self.file.flush()
+    }
+}
+
+fn begin_record(grid_id: &str, request: &Json) -> String {
+    Json::obj()
+        .with("op", "grid_begin")
+        .with("grid_id", grid_id)
+        .with("request", request.clone())
+        .to_string()
+}
+
+/// Replays a journal text into the incomplete grids, in begin order.
+/// Unparseable lines (a torn tail from a kill mid-write) are skipped.
+fn replay(text: &str) -> Vec<Incomplete> {
+    let mut order: Vec<String> = Vec::new();
+    let mut begun: Vec<(String, Json)> = Vec::new();
+    let mut ended: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let Ok(rec) = Json::parse(line) else {
+            continue;
+        };
+        let Some(op) = rec.get("op").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(grid_id) = rec.get("grid_id").and_then(Json::as_str) else {
+            continue;
+        };
+        match op {
+            "grid_begin" => {
+                if let Some(request) = rec.get("request") {
+                    if !order.iter().any(|g| g == grid_id) {
+                        order.push(grid_id.to_string());
+                        begun.push((grid_id.to_string(), request.clone()));
+                    }
+                }
+            }
+            "grid_end" => ended.push(grid_id.to_string()),
+            _ => {}
+        }
+    }
+    order
+        .into_iter()
+        .filter(|g| !ended.iter().any(|e| e == g))
+        .filter_map(|g| {
+            begun
+                .iter()
+                .find(|(id, _)| *id == g)
+                .map(|(grid_id, request)| Incomplete {
+                    grid_id: grid_id.clone(),
+                    request: request.clone(),
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fdip-journal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.log")
+    }
+
+    fn req(tag: &str) -> Json {
+        Json::obj().with("suite", tag)
+    }
+
+    #[test]
+    fn ended_grids_do_not_replay() {
+        let path = temp_log("ended");
+        {
+            let (mut j, inc) = Journal::open(path.clone()).unwrap();
+            assert!(inc.is_empty());
+            j.grid_begin("g1", &req("a")).unwrap();
+            j.cell_done("g1", "cell1").unwrap();
+            j.grid_end("g1").unwrap();
+            j.grid_begin("g2", &req("b")).unwrap();
+            j.cell_done("g2", "cell2").unwrap();
+        }
+        let (_, inc) = Journal::open(path.clone()).unwrap();
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc[0].grid_id, "g2");
+        assert_eq!(inc[0].request, req("b"));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_line_is_skipped_and_compaction_shrinks_the_log() {
+        let path = temp_log("torn");
+        {
+            let (mut j, _) = Journal::open(path.clone()).unwrap();
+            j.grid_begin("g1", &req("a")).unwrap();
+            j.grid_end("g1").unwrap();
+            j.grid_begin("g2", &req("b")).unwrap();
+        }
+        // Simulate a kill mid-write: a torn record at the tail.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"op\": \"cell_done\", \"grid").unwrap();
+        drop(f);
+        let (_, inc) = Journal::open(path.clone()).unwrap();
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc[0].grid_id, "g2");
+        // Compacted: only g2's begin record remains.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("g2"));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn duplicate_begin_records_replay_once() {
+        let path = temp_log("dup");
+        {
+            let (mut j, _) = Journal::open(path.clone()).unwrap();
+            j.grid_begin("g1", &req("a")).unwrap();
+            j.grid_begin("g1", &req("a")).unwrap();
+        }
+        let (_, inc) = Journal::open(path.clone()).unwrap();
+        assert_eq!(inc.len(), 1);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

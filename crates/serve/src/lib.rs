@@ -1,0 +1,366 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `fdip-serve` — sweep-as-a-service: a long-running daemon that accepts
+//! config × workload grid submissions over a hand-rolled HTTP/1.1
+//! protocol (`std::net` only), executes the cells on the shared
+//! `fdip-exec` pool, and memoizes every cell in a content-addressed
+//! on-disk cache so repeated sweeps — across clients and across daemon
+//! restarts — never re-simulate.
+//!
+//! The moving parts:
+//!
+//! * [`http`] — request/response plumbing and the service error type;
+//! * [`cache`] — the `<state_dir>/cache/` cell store, keyed by
+//!   `fdip_harness::remote::cell_key`;
+//! * [`journal`] — the write-ahead checkpoint log that makes a killed
+//!   daemon resumable;
+//! * [`scheduler`] — grid validation, admission control (bounded
+//!   in-flight grids with 429 backpressure), cell classification
+//!   (cache hit / coalesce onto an in-flight simulation / run), and
+//!   response assembly;
+//! * [`telemetry`] — the Document 6 serve manifest behind
+//!   `GET /v1/telemetry`.
+//!
+//! The wire protocol, cache-key derivation, and journal format are
+//! specified in `docs/SERVE.md` and enforced bidirectionally by
+//! `tests/serve_doc.rs`. The determinism contract holds end to end: a
+//! grid served remotely (fresh, cached, or resumed) is byte-identical
+//! to the same grid run locally once volatile manifest fields are
+//! stripped, because the daemon runs the same `run_workload_job` and
+//! the wire codec round-trips every counter and float exactly.
+
+pub mod cache;
+pub mod http;
+pub mod journal;
+pub mod scheduler;
+pub mod telemetry;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use fdip_exec::{CancelToken, Pool};
+use fdip_harness::remote::{GRID_PATH, HEALTHZ_PATH, PROGRESS_PATH, SHUTDOWN_PATH, TELEMETRY_PATH};
+use fdip_program::workload::Workload;
+use fdip_program::Program;
+use fdip_telemetry::{Json, SCHEMA_VERSION};
+
+use cache::Cache;
+use http::{read_request, write_response, Request, ServeError};
+use journal::Journal;
+use telemetry::ServeTelemetry;
+
+/// Daemon configuration; [`ServerConfig::new`] picks the defaults.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Root of the daemon's persistent state (`cache/`, `journal.log`).
+    pub state_dir: PathBuf,
+    /// Private worker-pool size; `None` shares the process-global pool.
+    pub jobs: Option<usize>,
+    /// Grids admitted concurrently before 429 backpressure kicks in.
+    pub max_inflight_grids: usize,
+    /// Largest accepted request body, in bytes (413 beyond it).
+    pub max_body_bytes: usize,
+    /// Per-connection read timeout while receiving a request.
+    pub read_timeout_ms: u64,
+    /// Wall-clock budget for one grid; beyond it the grid's remaining
+    /// cells are cancelled and the client gets `408 timeout`.
+    pub grid_timeout_ms: u64,
+    /// Fault injection for the resume tests: after this many cells have
+    /// been simulated (daemon-wide), stop cold — cancel every in-flight
+    /// grid and refuse new work — leaving the journal mid-grid.
+    pub crash_after_cells: Option<u64>,
+}
+
+impl ServerConfig {
+    /// Defaults: ephemeral loopback port, shared global pool, 4
+    /// in-flight grids, 8 MiB bodies, 10 s read timeout, 10 min grid
+    /// budget, no fault injection.
+    pub fn new(state_dir: PathBuf) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            state_dir,
+            jobs: None,
+            max_inflight_grids: 4,
+            max_body_bytes: 8 << 20,
+            read_timeout_ms: 10_000,
+            grid_timeout_ms: 600_000,
+            crash_after_cells: None,
+        }
+    }
+}
+
+/// Lifecycle gate: drain flag plus in-flight work accounting.
+#[derive(Debug, Default)]
+pub(crate) struct Gate {
+    pub(crate) draining: bool,
+    pub(crate) inflight_grids: usize,
+    pub(crate) connections: usize,
+}
+
+/// Coalescing state of one cell key across every in-flight grid.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum SlotState {
+    /// Some grid is simulating this cell right now.
+    Running,
+    /// The cell's result reached the cache.
+    Done,
+    /// The owning grid was cancelled before (or while) committing it.
+    Failed,
+}
+
+/// Externally visible progress of one grid (`GET /v1/progress`).
+#[derive(Clone, Debug)]
+pub(crate) struct GridProgress {
+    pub(crate) state: &'static str,
+    pub(crate) total_cells: u64,
+    pub(crate) completed_cells: u64,
+    pub(crate) cache_hits: u64,
+}
+
+/// One built workload: parameters, shared program image, content hash.
+pub(crate) type BuiltWorkload = (Workload, Arc<Program>, u64);
+
+/// Everything a connection or pool-job thread needs, behind one `Arc`.
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) pool: Option<Arc<Pool>>,
+    pub(crate) cache: Cache,
+    pub(crate) journal: Mutex<Journal>,
+    pub(crate) telemetry: ServeTelemetry,
+    pub(crate) gate: Mutex<Gate>,
+    pub(crate) gate_cv: Condvar,
+    pub(crate) slots: Mutex<BTreeMap<String, SlotState>>,
+    pub(crate) slots_cv: Condvar,
+    pub(crate) progress: Mutex<BTreeMap<String, GridProgress>>,
+    pub(crate) suites: Mutex<BTreeMap<String, Arc<Vec<BuiltWorkload>>>>,
+    pub(crate) tokens: Mutex<BTreeMap<String, CancelToken>>,
+}
+
+impl Shared {
+    pub(crate) fn pool(&self) -> &Pool {
+        self.pool.as_deref().unwrap_or_else(|| fdip_exec::global())
+    }
+
+    /// Enters drain mode: new grids are refused, in-flight grids finish,
+    /// and the accept loop is woken (by a loopback connect) so it can
+    /// stop accepting and wait the gate down to zero.
+    pub(crate) fn begin_drain(&self) {
+        {
+            let mut gate = self.gate.lock().expect("gate lock");
+            gate.draining = true;
+        }
+        self.gate_cv.notify_all();
+        // Wake the accept loop if it is parked in accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// The injected-crash path: like a kill, but in-process — every
+    /// in-flight grid's remaining cells are cancelled (cells already on
+    /// a worker finish and commit) and the daemon refuses further work.
+    /// The journal keeps the interrupted grids' begin records, which is
+    /// exactly what restart-resume consumes.
+    pub(crate) fn interrupt_all(&self) {
+        {
+            let mut gate = self.gate.lock().expect("gate lock");
+            gate.draining = true;
+        }
+        self.gate_cv.notify_all();
+        for token in self.tokens.lock().expect("token lock").values() {
+            token.cancel();
+        }
+        // Take the accept loop down too — an interrupted daemon drains
+        // and exits like a killed one, once in-flight handlers return.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon: accept loop plus journal-resume worker.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    resume_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, replays the journal, and starts serving.
+    ///
+    /// Any grid the journal recorded as begun-but-not-ended is re-run in
+    /// the background immediately (cells already in the cache are hits,
+    /// so only the missing remainder simulates); clients that resubmit
+    /// the same grid concurrently coalesce onto that work.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the state directory, journal, or listen
+    /// socket cannot be set up.
+    pub fn spawn(config: ServerConfig) -> io::Result<Server> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        let cache = Cache::open(config.state_dir.join("cache"))?;
+        let (journal, incomplete) = Journal::open(config.state_dir.join("journal.log"))?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = config.jobs.map(|n| Arc::new(Pool::new(n.max(1))));
+        let shared = Arc::new(Shared {
+            config,
+            addr,
+            pool,
+            cache,
+            journal: Mutex::new(journal),
+            telemetry: ServeTelemetry::new(),
+            gate: Mutex::new(Gate::default()),
+            gate_cv: Condvar::new(),
+            slots: Mutex::new(BTreeMap::new()),
+            slots_cv: Condvar::new(),
+            progress: Mutex::new(BTreeMap::new()),
+            suites: Mutex::new(BTreeMap::new()),
+            tokens: Mutex::new(BTreeMap::new()),
+        });
+
+        let resume_thread = (!incomplete.is_empty()).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for inc in incomplete {
+                    if let Err(e) = scheduler::handle_grid(&shared, &inc.request, true) {
+                        eprintln!(
+                            "fdip-serve: resume of grid {} stopped: {} ({})",
+                            inc.grid_id, e.message, e.code
+                        );
+                    }
+                }
+            })
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            resume_thread,
+        })
+    }
+
+    /// The actual bound address (resolves an ephemeral-port bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon drains (a client posted `/v1/shutdown`,
+    /// or [`Server::stop`] was called from another thread).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// Initiates a graceful drain and blocks until in-flight work
+    /// finishes: the equivalent of posting `/v1/shutdown` in-process.
+    pub fn stop(mut self) {
+        self.shared.begin_drain();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.resume_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// A dropped handle still shuts the daemon down cleanly.
+    fn drop(&mut self) {
+        self.shared.begin_drain();
+        self.join_threads();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if shared.gate.lock().expect("gate lock").draining {
+            break;
+        }
+        shared.gate.lock().expect("gate lock").connections += 1;
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            handle_connection(&shared, stream);
+            shared.gate.lock().expect("gate lock").connections -= 1;
+            shared.gate_cv.notify_all();
+        });
+    }
+    // Refuse new connections while the drain completes.
+    drop(listener);
+    let mut gate = shared.gate.lock().expect("gate lock");
+    while gate.inflight_grids > 0 || gate.connections > 0 {
+        gate = shared.gate_cv.wait(gate).expect("gate lock");
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    shared.telemetry.on_request();
+    let outcome = read_request(
+        &stream,
+        shared.config.max_body_bytes,
+        Duration::from_millis(shared.config.read_timeout_ms),
+    )
+    .and_then(|req| dispatch(shared, &req));
+    let (status, body) = match outcome {
+        Ok(body) => (200, body),
+        Err(e) => (e.status, e.to_json()),
+    };
+    let _ = write_response(&mut stream, status, &body);
+}
+
+fn dispatch(shared: &Arc<Shared>, req: &Request) -> Result<Json, ServeError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", p) if p == GRID_PATH => scheduler::handle_grid(shared, &req.body, false),
+        ("GET", p) if p == HEALTHZ_PATH => Ok(Json::obj()
+            .with("schema_version", SCHEMA_VERSION)
+            .with("ok", true)),
+        ("GET", p) if p == PROGRESS_PATH => Ok(progress_json(shared)),
+        ("GET", p) if p == TELEMETRY_PATH => Ok(shared.telemetry.to_json()),
+        ("POST", p) if p == SHUTDOWN_PATH => {
+            shared.begin_drain();
+            Ok(Json::obj()
+                .with("schema_version", SCHEMA_VERSION)
+                .with("draining", true))
+        }
+        (_, p) => Err(ServeError::new(
+            404,
+            "not_found",
+            format!("no endpoint at {p}"),
+        )),
+    }
+}
+
+fn progress_json(shared: &Shared) -> Json {
+    let grids: Vec<Json> = shared
+        .progress
+        .lock()
+        .expect("progress lock")
+        .iter()
+        .map(|(grid_id, p)| {
+            Json::obj()
+                .with("grid_id", grid_id.as_str())
+                .with("state", p.state)
+                .with("total_cells", p.total_cells)
+                .with("completed_cells", p.completed_cells)
+                .with("cache_hits", p.cache_hits)
+        })
+        .collect();
+    Json::obj()
+        .with("schema_version", SCHEMA_VERSION)
+        .with("grids", Json::Arr(grids))
+}

@@ -1,0 +1,555 @@
+//! Grid execution: validation, admission control, cell classification
+//! (cache hit / coalesce / simulate), cancellable batch execution with
+//! a per-grid watchdog, checkpointing, and response assembly.
+//!
+//! Every cell takes exactly one of three paths:
+//!
+//! * **hit** — its key is already in the content-addressed cache;
+//! * **coalesced** — another in-flight grid owns the same key, so this
+//!   grid waits on that simulation instead of duplicating it;
+//! * **simulated** — this grid owns the key: the cell runs through the
+//!   same [`fdip_sim::run_workload_job`] the local `Runner` uses, the
+//!   result is committed to the cache, and `cell_done` is journaled.
+//!
+//! The response is assembled *from the cache files*, never from
+//! in-memory results — so a fresh run, a 100%-hit replay, and a
+//! post-restart resume all serialize through the identical path and
+//! stay byte-identical.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fdip_exec::CancelToken;
+use fdip_harness::remote::{
+    cell_key, config_from_json, config_hash, config_to_json, fnv1a64, workload_hash,
+};
+use fdip_sim::{run_workload_job, CoreConfig};
+use fdip_telemetry::{Json, ToJson, SCHEMA_VERSION};
+
+use crate::http::ServeError;
+use crate::{BuiltWorkload, GridProgress, Shared, SlotState};
+
+/// How a grid position resolves against the cache and the in-flight
+/// coalescing map.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Plan {
+    /// Served straight from the cache.
+    Hit,
+    /// Another grid (or an earlier duplicate position in this one) is
+    /// simulating the key; wait for its slot.
+    Coalesce,
+    /// This grid simulates the key.
+    Own,
+}
+
+/// One grid position: `(cell key, config index, workload index, plan)`.
+type Cell = (String, usize, usize, Plan);
+
+struct ValidGrid {
+    client: String,
+    suite: String,
+    warmup: u64,
+    measure: u64,
+    cfgs: Vec<CoreConfig>,
+    cfg_hashes: Vec<u64>,
+}
+
+/// Decrements the in-flight grid count on every exit path.
+struct InflightGuard<'a>(&'a Shared);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.gate.lock().expect("gate lock").inflight_grids -= 1;
+        self.0.gate_cv.notify_all();
+    }
+}
+
+/// Serves one `POST /v1/grid` request (or a journal-replayed one when
+/// `resumed`; resumed grids bypass 429 backpressure — they were already
+/// admitted once).
+pub(crate) fn handle_grid(
+    shared: &Arc<Shared>,
+    body: &Json,
+    resumed: bool,
+) -> Result<Json, ServeError> {
+    let grid = validate(body)?;
+    admit(shared, resumed)?;
+    let guard = InflightGuard(shared);
+    let suite = suite_programs(shared, &grid.suite);
+    let grid_id = grid_id(&grid);
+
+    if !resumed {
+        shared
+            .journal
+            .lock()
+            .expect("journal lock")
+            .grid_begin(&grid_id, body)
+            .map_err(|e| ServeError::new(500, "internal", format!("journal: {e}")))?;
+    }
+
+    let cells = classify(shared, &grid, &suite);
+    let total = cells.len() as u64;
+    let hits = cells.iter().filter(|c| c.3 == Plan::Hit).count() as u64;
+    let coalesced = cells.iter().filter(|c| c.3 == Plan::Coalesce).count() as u64;
+    shared.progress.lock().expect("progress lock").insert(
+        grid_id.clone(),
+        GridProgress {
+            state: "running",
+            total_cells: total,
+            completed_cells: hits,
+            cache_hits: hits,
+        },
+    );
+
+    let run_ok = run_owned(shared, &grid, &suite, &grid_id, &cells);
+    let wait_ok = run_ok.is_ok() && wait_coalesced(shared, &cells);
+    if let Err(e) = run_ok {
+        finish_interrupted(shared, &grid_id);
+        drop(guard);
+        return Err(e);
+    }
+    if !wait_ok {
+        finish_interrupted(shared, &grid_id);
+        drop(guard);
+        return Err(ServeError::new(
+            503,
+            "interrupted",
+            "a coalesced cell's owning grid was cancelled before it completed",
+        ));
+    }
+
+    let response = assemble(shared, &grid, &suite, &grid_id, &cells)?;
+    shared
+        .journal
+        .lock()
+        .expect("journal lock")
+        .grid_end(&grid_id)
+        .map_err(|e| ServeError::new(500, "internal", format!("journal: {e}")))?;
+    if let Some(p) = shared
+        .progress
+        .lock()
+        .expect("progress lock")
+        .get_mut(&grid_id)
+    {
+        p.state = "done";
+        p.completed_cells = total;
+    }
+    shared.telemetry.on_grid_completed();
+    shared
+        .telemetry
+        .on_cells_served(&grid.client, total, hits, coalesced);
+    drop(guard);
+    Ok(response)
+}
+
+fn validate(body: &Json) -> Result<ValidGrid, ServeError> {
+    let schema = body
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::bad_request("missing schema_version"))?;
+    if schema != SCHEMA_VERSION {
+        return Err(ServeError::bad_request(format!(
+            "schema_version {schema} != supported {SCHEMA_VERSION}"
+        )));
+    }
+    let client = body
+        .get("client")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::bad_request("missing client"))?
+        .to_string();
+    let suite = body
+        .get("suite")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::bad_request("missing suite"))?
+        .to_string();
+    if !matches!(suite.as_str(), "quick" | "full") {
+        return Err(ServeError::new(
+            400,
+            "unsupported_suite",
+            format!("suite {suite:?} is not a named suite the daemon can rebuild (quick/full)"),
+        ));
+    }
+    let warmup = body
+        .get("warmup_instrs")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::bad_request("missing warmup_instrs"))?;
+    let measure = body
+        .get("measure_instrs")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::bad_request("missing measure_instrs"))?;
+    let configs = body
+        .get("configs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::bad_request("missing configs array"))?;
+    if configs.is_empty() {
+        return Err(ServeError::bad_request("configs array is empty"));
+    }
+    let mut cfgs = Vec::with_capacity(configs.len());
+    for (i, c) in configs.iter().enumerate() {
+        cfgs.push(
+            config_from_json(c)
+                .ok_or_else(|| ServeError::bad_request(format!("configs[{i}] is invalid")))?,
+        );
+    }
+    let cfg_hashes = cfgs.iter().map(config_hash).collect();
+    Ok(ValidGrid {
+        client,
+        suite,
+        warmup,
+        measure,
+        cfgs,
+        cfg_hashes,
+    })
+}
+
+fn admit(shared: &Shared, resumed: bool) -> Result<(), ServeError> {
+    let mut gate = shared.gate.lock().expect("gate lock");
+    if gate.draining {
+        shared.telemetry.on_grid_rejected(false);
+        return Err(ServeError::new(
+            503,
+            "draining",
+            "the daemon is draining and accepts no new grids",
+        ));
+    }
+    if !resumed && gate.inflight_grids >= shared.config.max_inflight_grids {
+        shared.telemetry.on_grid_rejected(true);
+        return Err(ServeError::new(
+            429,
+            "busy",
+            format!(
+                "{} grids are already in flight (limit {}); retry later",
+                gate.inflight_grids, shared.config.max_inflight_grids
+            ),
+        ));
+    }
+    gate.inflight_grids += 1;
+    shared
+        .telemetry
+        .on_grid_admitted(resumed, gate.inflight_grids as u64);
+    Ok(())
+}
+
+/// Builds (once, lazily) the named suite's programs, with per-workload
+/// content hashes.
+fn suite_programs(shared: &Shared, suite: &str) -> Arc<Vec<BuiltWorkload>> {
+    let mut suites = shared.suites.lock().expect("suite lock");
+    if let Some(s) = suites.get(suite) {
+        return Arc::clone(s);
+    }
+    let workloads = match suite {
+        "quick" => fdip_program::workload::quick_suite(),
+        _ => fdip_program::workload::suite(),
+    };
+    let built: Vec<BuiltWorkload> = workloads
+        .into_iter()
+        .map(|w| {
+            let h = workload_hash(&w);
+            let p = Arc::new(w.build());
+            (w, p, h)
+        })
+        .collect();
+    let arc = Arc::new(built);
+    suites.insert(suite.to_string(), Arc::clone(&arc));
+    arc
+}
+
+/// The grid's content-derived id: FNV-1a over suite, budget, and the
+/// config hashes in request order (`docs/SERVE.md` §"Grid ids").
+fn grid_id(grid: &ValidGrid) -> String {
+    let cfgs: Vec<String> = grid
+        .cfg_hashes
+        .iter()
+        .map(|h| format!("{h:016x}"))
+        .collect();
+    let canon = format!(
+        "fdip-grid-v1|suite={}|warmup={}|measure={}|cfgs={}",
+        grid.suite,
+        grid.warmup,
+        grid.measure,
+        cfgs.join(",")
+    );
+    format!("{:016x}", fnv1a64(canon.as_bytes()))
+}
+
+/// Resolves every grid position against the cache and the coalescing
+/// map, claiming `Own` slots atomically under one lock so no two grids
+/// (or duplicate positions within one grid) ever simulate the same key.
+fn classify(shared: &Shared, grid: &ValidGrid, suite: &[BuiltWorkload]) -> Vec<Cell> {
+    let mut slots = shared.slots.lock().expect("slot lock");
+    let mut cells = Vec::with_capacity(grid.cfgs.len() * suite.len());
+    for ci in 0..grid.cfgs.len() {
+        for (wi, (w, _, wl_hash)) in suite.iter().enumerate() {
+            let key = cell_key(
+                grid.cfg_hashes[ci],
+                *wl_hash,
+                w.params.seed,
+                grid.warmup,
+                grid.measure,
+            );
+            let plan = match slots.get(&key) {
+                Some(SlotState::Running) => Plan::Coalesce,
+                Some(SlotState::Done) => Plan::Hit,
+                Some(SlotState::Failed) | None => {
+                    if shared.cache.contains(&key) {
+                        Plan::Hit
+                    } else {
+                        slots.insert(key.clone(), SlotState::Running);
+                        Plan::Own
+                    }
+                }
+            };
+            cells.push((key, ci, wi, plan));
+        }
+    }
+    cells
+}
+
+/// Runs this grid's `Own` cells as one cancellable pool batch, guarded
+/// by a watchdog that cancels the batch when the grid's wall-clock
+/// budget runs out. Commits each result to the cache and journal as it
+/// lands.
+fn run_owned(
+    shared: &Arc<Shared>,
+    grid: &ValidGrid,
+    suite: &[BuiltWorkload],
+    grid_id: &str,
+    cells: &[Cell],
+) -> Result<(), ServeError> {
+    let own: Vec<&Cell> = cells.iter().filter(|c| c.3 == Plan::Own).collect();
+    if own.is_empty() {
+        return Ok(());
+    }
+    let token = CancelToken::new();
+    shared
+        .tokens
+        .lock()
+        .expect("token lock")
+        .insert(grid_id.to_string(), token.clone());
+
+    let mut jobs = Vec::with_capacity(own.len());
+    for (key, ci, wi, _) in &own {
+        let shared = Arc::clone(shared);
+        let grid_id = grid_id.to_string();
+        let key = key.clone();
+        let cfg = grid.cfgs[*ci].clone();
+        let cfg_hash = grid.cfg_hashes[*ci];
+        let (w, program, wl_hash) = &suite[*wi];
+        let (workload, seed) = (w.name.clone(), w.params.seed);
+        let (wl_hash, program) = (*wl_hash, Arc::clone(program));
+        let (warmup, measure) = (grid.warmup, grid.measure);
+        jobs.push(move || {
+            let (stats, dists) = run_workload_job(cfg.clone(), program, warmup, measure);
+            let entry = Json::obj()
+                .with("schema_version", SCHEMA_VERSION)
+                .with("cell", key.as_str())
+                .with("config_hash", format!("{cfg_hash:016x}"))
+                .with("workload_hash", format!("{wl_hash:016x}"))
+                .with("workload", workload.as_str())
+                .with("seed", seed)
+                .with("warmup_instrs", warmup)
+                .with("measure_instrs", measure)
+                .with("config", config_to_json(&cfg))
+                .with("stats", stats.to_json())
+                .with("dists", dists.to_json());
+            let committed = shared.cache.put(&key, &entry).is_ok();
+            if committed {
+                let _ = shared
+                    .journal
+                    .lock()
+                    .expect("journal lock")
+                    .cell_done(&grid_id, &key);
+            }
+            let simulated = shared.telemetry.on_cell_simulated();
+            if shared
+                .config
+                .crash_after_cells
+                .is_some_and(|limit| simulated >= limit)
+            {
+                shared.interrupt_all();
+            }
+            if let Some(p) = shared
+                .progress
+                .lock()
+                .expect("progress lock")
+                .get_mut(&grid_id)
+            {
+                p.completed_cells += 1;
+            }
+            set_slot(
+                &shared,
+                &key,
+                if committed {
+                    SlotState::Done
+                } else {
+                    SlotState::Failed
+                },
+            );
+            committed
+        });
+    }
+
+    // Watchdog: one thread parks on a channel for the grid's budget; a
+    // completed batch rings it awake, a timeout cancels the batch.
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let timed_out = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let token = token.clone();
+        let timed_out = Arc::clone(&timed_out);
+        let budget = Duration::from_millis(shared.config.grid_timeout_ms);
+        std::thread::spawn(move || {
+            if done_rx.recv_timeout(budget).is_err() {
+                timed_out.store(true, Ordering::Release);
+                token.cancel();
+            }
+        })
+    };
+    let results = shared.pool().run_batch_cancellable(jobs, &token);
+    let _ = done_tx.send(());
+    let _ = watchdog.join();
+    shared.tokens.lock().expect("token lock").remove(grid_id);
+
+    // Cells the cancellation skipped never ran their closure, so their
+    // slots are still Running: fail them so coalesced waiters unblock.
+    let mut ok = true;
+    for ((key, _, _, _), result) in own.iter().zip(&results) {
+        match result {
+            Some(true) => {}
+            Some(false) => ok = false,
+            None => {
+                ok = false;
+                set_slot(shared, key, SlotState::Failed);
+            }
+        }
+    }
+    if ok {
+        return Ok(());
+    }
+    if timed_out.load(Ordering::Acquire) {
+        Err(ServeError::new(
+            408,
+            "timeout",
+            format!(
+                "grid exceeded its {} ms budget; completed cells are cached and a \
+                 resubmission finishes the remainder",
+                shared.config.grid_timeout_ms
+            ),
+        ))
+    } else {
+        Err(ServeError::new(
+            503,
+            "interrupted",
+            "the grid was cancelled mid-flight (drain or injected crash); completed \
+             cells are cached and journaled for resume",
+        ))
+    }
+}
+
+fn set_slot(shared: &Shared, key: &str, state: SlotState) {
+    shared
+        .slots
+        .lock()
+        .expect("slot lock")
+        .insert(key.to_string(), state);
+    shared.slots_cv.notify_all();
+}
+
+/// Blocks until every coalesced cell's owning grid resolves its slot.
+/// Returns `false` if any owner failed (cancelled before commit).
+fn wait_coalesced(shared: &Shared, cells: &[Cell]) -> bool {
+    let mut ok = true;
+    let mut slots = shared.slots.lock().expect("slot lock");
+    for (key, _, _, plan) in cells {
+        if *plan != Plan::Coalesce {
+            continue;
+        }
+        loop {
+            match slots.get(key) {
+                Some(SlotState::Done) | None => break,
+                Some(SlotState::Failed) => {
+                    ok = false;
+                    break;
+                }
+                Some(SlotState::Running) => {
+                    slots = shared.slots_cv.wait(slots).expect("slot lock");
+                }
+            }
+        }
+    }
+    ok
+}
+
+fn finish_interrupted(shared: &Shared, grid_id: &str) {
+    if let Some(p) = shared
+        .progress
+        .lock()
+        .expect("progress lock")
+        .get_mut(grid_id)
+    {
+        p.state = "interrupted";
+    }
+    shared.telemetry.on_grid_interrupted();
+}
+
+/// Assembles the grid response by re-reading every cell from the cache
+/// — the single serialization path shared by fresh, cached, coalesced,
+/// and resumed cells.
+fn assemble(
+    shared: &Shared,
+    grid: &ValidGrid,
+    suite: &[BuiltWorkload],
+    grid_id: &str,
+    cells: &[Cell],
+) -> Result<Json, ServeError> {
+    let mut out = Vec::with_capacity(cells.len());
+    let mut simulated = 0u64;
+    for (key, ci, wi, plan) in cells {
+        let entry = shared.cache.get(key).ok_or_else(|| {
+            ServeError::new(
+                500,
+                "internal",
+                format!("cache entry {key} vanished before assembly"),
+            )
+        })?;
+        let stats = entry.get("stats").cloned().unwrap_or(Json::Null);
+        let dists = entry.get("dists").cloned().unwrap_or(Json::Null);
+        if stats == Json::Null || dists == Json::Null {
+            return Err(ServeError::new(
+                500,
+                "internal",
+                format!("cache entry {key} is missing stats/dists"),
+            ));
+        }
+        if *plan == Plan::Own {
+            simulated += 1;
+        }
+        out.push(
+            Json::obj()
+                .with("cell", key.as_str())
+                .with("config_index", *ci as u64)
+                .with("workload", suite[*wi].0.name.as_str())
+                .with("cache_hit", *plan == Plan::Hit)
+                .with("stats", stats)
+                .with("dists", dists),
+        );
+    }
+    let hits = cells.iter().filter(|c| c.3 == Plan::Hit).count() as u64;
+    let coalesced = cells.iter().filter(|c| c.3 == Plan::Coalesce).count() as u64;
+    Ok(Json::obj()
+        .with("schema_version", SCHEMA_VERSION)
+        .with("grid_id", grid_id)
+        .with("suite", grid.suite.as_str())
+        .with("warmup_instrs", grid.warmup)
+        .with("measure_instrs", grid.measure)
+        .with("cells", Json::Arr(out))
+        .with(
+            "summary",
+            Json::obj()
+                .with("total_cells", cells.len() as u64)
+                .with("cache_hits", hits)
+                .with("simulated", simulated)
+                .with("coalesced", coalesced),
+        ))
+}

@@ -1,0 +1,247 @@
+//! Serve-side telemetry: the counters behind `GET /v1/telemetry`,
+//! emitted as **Document 6** of `docs/METRICS.md` (the serve manifest).
+//!
+//! This is the one module in the daemon allowed to read wall clocks
+//! (`lint-allow.txt` carries the justification): uptime and start time
+//! are operator telemetry and never feed a simulation result. Everything
+//! else is monotonic counting under a single mutex — no atomics, so a
+//! snapshot is always internally consistent.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime};
+
+use fdip_telemetry::{Histogram, Json, ToJson, SCHEMA_VERSION};
+
+#[derive(Clone, Debug, Default)]
+struct ClientStats {
+    requests: u64,
+    cells: u64,
+    cache_hits: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    requests: u64,
+    grids_submitted: u64,
+    grids_completed: u64,
+    grids_resumed: u64,
+    grids_interrupted: u64,
+    cells_served: u64,
+    cells_cache_hits: u64,
+    cells_cache_misses: u64,
+    cells_simulated: u64,
+    cells_coalesced: u64,
+    rejected_busy: u64,
+    rejected_draining: u64,
+    queue_depth: Histogram,
+    clients: BTreeMap<String, ClientStats>,
+}
+
+/// The daemon's telemetry state; one per [`crate::Server`].
+#[derive(Debug)]
+pub struct ServeTelemetry {
+    started: Instant,
+    started_unix: u64,
+    inner: Mutex<Inner>,
+}
+
+impl Default for ServeTelemetry {
+    fn default() -> Self {
+        ServeTelemetry::new()
+    }
+}
+
+impl ServeTelemetry {
+    /// Creates zeroed telemetry stamped with the current wall clock.
+    pub fn new() -> ServeTelemetry {
+        let started_unix = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        ServeTelemetry {
+            started: Instant::now(),
+            started_unix,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("serve telemetry lock")
+    }
+
+    /// Counts one HTTP request (any endpoint, any outcome).
+    pub fn on_request(&self) {
+        self.lock().requests += 1;
+    }
+
+    /// Counts an accepted grid and samples the post-admission queue
+    /// depth (in-flight grids, this one included).
+    pub fn on_grid_admitted(&self, resumed: bool, inflight: u64) {
+        let mut g = self.lock();
+        g.grids_submitted += 1;
+        if resumed {
+            g.grids_resumed += 1;
+        }
+        g.queue_depth.record(inflight);
+    }
+
+    /// Counts a grid whose response was fully assembled.
+    pub fn on_grid_completed(&self) {
+        self.lock().grids_completed += 1;
+    }
+
+    /// Counts a grid cut short by a timeout, drain, or injected crash.
+    pub fn on_grid_interrupted(&self) {
+        self.lock().grids_interrupted += 1;
+    }
+
+    /// Counts a rejected grid (`busy` = 429 backpressure, otherwise the
+    /// daemon was draining).
+    pub fn on_grid_rejected(&self, busy: bool) {
+        let mut g = self.lock();
+        if busy {
+            g.rejected_busy += 1;
+        } else {
+            g.rejected_draining += 1;
+        }
+    }
+
+    /// Accounts a completed grid's cells to the aggregate and per-client
+    /// counters: `hits` came from the cache, `coalesced` waited on a
+    /// concurrent grid's in-flight simulation, the rest were simulated
+    /// here (simulation itself is counted by [`ServeTelemetry::on_cell_simulated`]).
+    pub fn on_cells_served(&self, client: &str, total: u64, hits: u64, coalesced: u64) {
+        let mut g = self.lock();
+        g.cells_served += total;
+        g.cells_cache_hits += hits;
+        g.cells_cache_misses += total - hits;
+        g.cells_coalesced += coalesced;
+        let c = g.clients.entry(client.to_string()).or_default();
+        c.requests += 1;
+        c.cells += total;
+        c.cache_hits += hits;
+    }
+
+    /// Counts one cell simulated on this daemon's pool and returns the
+    /// running total (the fault-injection hook keys off it).
+    pub fn on_cell_simulated(&self) -> u64 {
+        let mut g = self.lock();
+        g.cells_simulated += 1;
+        g.cells_simulated
+    }
+
+    /// Total cells simulated so far.
+    pub fn cells_simulated(&self) -> u64 {
+        self.lock().cells_simulated
+    }
+
+    /// Renders Document 6, the serve manifest (`docs/METRICS.md` §6).
+    pub fn to_json(&self) -> Json {
+        let g = self.lock();
+        let clients: Vec<Json> = g
+            .clients
+            .iter()
+            .map(|(name, c)| {
+                Json::obj()
+                    .with("client", name.as_str())
+                    .with("requests", c.requests)
+                    .with("cells", c.cells)
+                    .with("cache_hits", c.cache_hits)
+            })
+            .collect();
+        Json::obj().with("schema_version", SCHEMA_VERSION).with(
+            "serve",
+            Json::obj()
+                .with("tool", "fdip-serve")
+                .with("started_unix", self.started_unix)
+                .with("uptime_seconds", self.started.elapsed().as_secs_f64())
+                .with("requests", g.requests)
+                .with(
+                    "grids",
+                    Json::obj()
+                        .with("submitted", g.grids_submitted)
+                        .with("completed", g.grids_completed)
+                        .with("resumed", g.grids_resumed)
+                        .with("interrupted", g.grids_interrupted),
+                )
+                .with(
+                    "cells",
+                    Json::obj()
+                        .with("served", g.cells_served)
+                        .with("cache_hits", g.cells_cache_hits)
+                        .with("cache_misses", g.cells_cache_misses)
+                        .with("simulated", g.cells_simulated)
+                        .with("coalesced", g.cells_coalesced),
+                )
+                .with(
+                    "rejected",
+                    Json::obj()
+                        .with("busy", g.rejected_busy)
+                        .with("draining", g.rejected_draining),
+                )
+                .with("queue_depth", g.queue_depth.to_json())
+                .with("clients", Json::Arr(clients)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_six_counts_what_happened() {
+        let t = ServeTelemetry::new();
+        t.on_request();
+        t.on_request();
+        t.on_grid_admitted(false, 1);
+        t.on_grid_admitted(true, 2);
+        t.on_grid_completed();
+        t.on_grid_interrupted();
+        t.on_grid_rejected(true);
+        t.on_grid_rejected(false);
+        t.on_cells_served("alice", 6, 4, 1);
+        t.on_cells_served("bob", 3, 0, 0);
+        assert_eq!(t.on_cell_simulated(), 1);
+        assert_eq!(t.on_cell_simulated(), 2);
+        assert_eq!(t.cells_simulated(), 2);
+
+        let doc = t.to_json();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        let s = doc.get("serve").unwrap();
+        assert_eq!(s.get("tool").and_then(Json::as_str), Some("fdip-serve"));
+        assert_eq!(s.get("requests").and_then(Json::as_u64), Some(2));
+        let grids = s.get("grids").unwrap();
+        assert_eq!(grids.get("submitted").and_then(Json::as_u64), Some(2));
+        assert_eq!(grids.get("resumed").and_then(Json::as_u64), Some(1));
+        assert_eq!(grids.get("completed").and_then(Json::as_u64), Some(1));
+        assert_eq!(grids.get("interrupted").and_then(Json::as_u64), Some(1));
+        let cells = s.get("cells").unwrap();
+        assert_eq!(cells.get("served").and_then(Json::as_u64), Some(9));
+        assert_eq!(cells.get("cache_hits").and_then(Json::as_u64), Some(4));
+        assert_eq!(cells.get("cache_misses").and_then(Json::as_u64), Some(5));
+        assert_eq!(cells.get("simulated").and_then(Json::as_u64), Some(2));
+        assert_eq!(cells.get("coalesced").and_then(Json::as_u64), Some(1));
+        let rejected = s.get("rejected").unwrap();
+        assert_eq!(rejected.get("busy").and_then(Json::as_u64), Some(1));
+        assert_eq!(rejected.get("draining").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            s.get("queue_depth")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        // Clients are sorted by name for deterministic output.
+        let clients = s.get("clients").and_then(Json::as_arr).unwrap();
+        assert_eq!(clients.len(), 2);
+        assert_eq!(
+            clients[0].get("client").and_then(Json::as_str),
+            Some("alice")
+        );
+        assert_eq!(clients[0].get("cells").and_then(Json::as_u64), Some(6));
+    }
+}

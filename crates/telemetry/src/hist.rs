@@ -171,6 +171,38 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Reconstructs a histogram from its [`ToJson`] form.
+    ///
+    /// The inverse of [`Histogram::to_json`]: bucket counts are restored
+    /// from the `buckets` array (each entry's `lo` selects its log2
+    /// bucket) and the exact `count`/`sum`/`min`/`max` come from the
+    /// top-level fields, so `from_json(h.to_json()) == h` for any
+    /// histogram. Derived fields (`mean`, percentiles) are recomputed,
+    /// not read. Returns `None` if a required field is missing or the
+    /// bucket counts disagree with the top-level `count`.
+    pub fn from_json(v: &Json) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        for b in v.get("buckets")?.as_arr()? {
+            let lo = b.get("lo")?.as_u64()?;
+            let n = b.get("count")?.as_u64()?;
+            let idx = Self::bucket_index(lo);
+            if idx >= h.buckets.len() {
+                h.buckets.resize(idx + 1, 0);
+            }
+            h.buckets[idx] += n;
+            h.count += n;
+        }
+        if h.count != v.get("count")?.as_u64()? {
+            return None;
+        }
+        h.sum = v.get("sum")?.as_u64()?;
+        if h.count > 0 {
+            h.min = v.get("min")?.as_u64()?;
+            h.max = v.get("max")?.as_u64()?;
+        }
+        Some(h)
+    }
+
     /// Iterates the non-empty buckets in ascending value order.
     pub fn buckets(&self) -> impl Iterator<Item = Bucket> + '_ {
         self.buckets
@@ -306,6 +338,22 @@ mod tests {
         h.record_n(42, 0);
         assert_eq!(h.count(), 0);
         assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn from_json_inverts_to_json_exactly() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 3, 17, 300, 1 << 40] {
+            h.record(v);
+        }
+        let parsed = Json::parse(&h.to_json().to_string()).unwrap();
+        assert_eq!(Histogram::from_json(&parsed), Some(h.clone()));
+        // Empty histograms round-trip too (min/max are null).
+        let empty = Histogram::new();
+        assert_eq!(Histogram::from_json(&empty.to_json()), Some(empty));
+        // A count mismatch (corrupt document) is rejected, not guessed at.
+        let bad = h.to_json().with("count", 999u64);
+        assert_eq!(Histogram::from_json(&bad), None);
     }
 
     #[test]

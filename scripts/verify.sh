@@ -68,6 +68,34 @@ done
 diff -u "$tmp/untraced.stripped.json" "$tmp/traced.stripped.json"
 echo "    tracing leaves results byte-identical"
 
+echo "==> serve smoke: served sweep == local sweep, then 100% cache hits"
+# Start the daemon on an ephemeral port, run the same quick sweep as the
+# determinism smoke through it, and require the stripped results to be
+# byte-identical to the local run above (docs/SERVE.md "Determinism
+# guarantee"). A second served pass must hit only the cache, and the
+# daemon must drain cleanly on ctl shutdown.
+./target/release/fdip-serve --addr 127.0.0.1:0 --state-dir "$tmp/serve-state" \
+  --port-file "$tmp/serve.addr" > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$tmp/serve.addr" ] && break
+  sleep 0.1
+done
+addr="$(cat "$tmp/serve.addr")"
+for pass in 1 2; do
+  FDIP_SUITE=quick FDIP_WARMUP=2000 FDIP_INSTRS=10000 \
+    ./target/release/fdip-experiments --server "$addr" \
+    --json "$tmp/served$pass.json" fig7 fig9 > /dev/null
+  cargo run -q --release --offline --example strip_results -- \
+    "$tmp/served$pass.json" > "$tmp/served$pass.stripped.json"
+  diff -u "$tmp/j1.stripped.json" "$tmp/served$pass.stripped.json"
+done
+./target/release/fdip-serve ctl "$addr" telemetry > "$tmp/serve-telemetry.json"
+grep -q '"cache_hits"' "$tmp/serve-telemetry.json"
+./target/release/fdip-serve ctl "$addr" shutdown > /dev/null
+wait "$serve_pid"
+echo "    served results byte-identical to local; daemon drained"
+
 echo "==> bench smoke: fdip-bench emits a valid document"
 ./target/release/fdip-bench --instrs 2000 --iters 1 --json "$tmp/bench.json" \
   > /dev/null

@@ -118,6 +118,43 @@ fn every_bench_json_field_is_documented() {
 }
 
 #[test]
+fn every_serve_manifest_field_is_documented() {
+    // Document 6: the serve manifest from `GET /v1/telemetry`, with
+    // every counter group populated so every key is emitted.
+    let t = fdip_serve::telemetry::ServeTelemetry::new();
+    t.on_request();
+    t.on_grid_admitted(false, 1);
+    t.on_grid_admitted(true, 2);
+    t.on_grid_completed();
+    t.on_grid_interrupted();
+    t.on_grid_rejected(true);
+    t.on_grid_rejected(false);
+    t.on_cells_served("metrics-doc-test", 6, 2, 1);
+    t.on_cell_simulated();
+    let emitted = t.to_json();
+    assert_eq!(
+        emitted.get("schema_version").and_then(Json::as_u64),
+        Some(SCHEMA_VERSION)
+    );
+    assert_all_documented(&emitted, &doc(), "serve manifest");
+    // Reverse direction: the documented counter groups must be emitted.
+    let serve = emitted.get("serve").expect("serve block");
+    for name in [
+        "tool",
+        "started_unix",
+        "uptime_seconds",
+        "requests",
+        "grids",
+        "cells",
+        "rejected",
+        "queue_depth",
+        "clients",
+    ] {
+        assert!(serve.get(name).is_some(), "serve field {name} missing");
+    }
+}
+
+#[test]
 fn documented_derived_metrics_exist_in_emitted_json() {
     // The reverse direction for the derived block: the metrics the doc
     // tabulates must actually be emitted.
