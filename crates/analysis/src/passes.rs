@@ -85,6 +85,7 @@ const RESULT_CRATES: &[&str] = &[
     "crates/prefetch/src/",
     "crates/types/src/",
     "crates/serve/src/",
+    "crates/fuzz/src/",
 ];
 
 /// Files allowed to document their emitted keys in `docs/SERVE.md`

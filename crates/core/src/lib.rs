@@ -30,6 +30,7 @@
 //! ```
 
 pub mod backend;
+pub mod check;
 pub mod config;
 pub mod dists;
 pub mod ftq;
@@ -41,6 +42,10 @@ pub mod probe;
 pub mod sim;
 pub mod stats;
 
+pub use check::{
+    check_outcome_ledger, check_stall_partition, run_workload_checked, CheckedRun,
+    InvariantViolation, OutcomeLedger,
+};
 pub use config::{BackendConfig, CoreConfig, DirectionConfig};
 pub use dists::SimDists;
 pub use ftq::{ftq_overhead_bytes, FillState, Ftq, FtqEntry, SlotBranch};

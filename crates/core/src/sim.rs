@@ -199,12 +199,7 @@ impl<'p> Simulator<'p> {
     /// interval. Warm-up is excluded by clearing the distributions at
     /// the measurement boundary.
     pub fn run_detailed(&mut self, warmup: u64, measure: u64) -> (SimStats, SimDists) {
-        self.run_until_retired(warmup);
-        let snap = self.collect();
-        self.dists.clear(self.now, self.stats.retired);
-        self.trace.clear();
-        self.run_until_retired(warmup + measure);
-        let delta = self.collect().delta(&snap);
+        let (delta, dists) = self.run_detailed_unchecked(warmup, measure);
         // Cycle-accounting invariant: every measured cycle lands in
         // exactly one stall bucket.
         assert_eq!(
@@ -212,7 +207,38 @@ impl<'p> Simulator<'p> {
             delta.cycles,
             "stall buckets must partition the measured cycles"
         );
-        (delta, self.dists.clone())
+        (delta, dists)
+    }
+
+    /// [`Simulator::run_detailed`] without the stall-partition assertion
+    /// — the checked-run path (`fdip_sim::check`) turns violations into
+    /// data instead of a panic.
+    pub fn run_detailed_unchecked(&mut self, warmup: u64, measure: u64) -> (SimStats, SimDists) {
+        self.run_until_retired(warmup);
+        let snap = self.collect();
+        self.dists.clear(self.now, self.stats.retired);
+        self.trace.clear();
+        self.run_until_retired(warmup + measure);
+        (self.collect().delta(&snap), self.dists.clone())
+    }
+
+    /// The prefetch-request ledgers of the L1i, one per prefetch fill
+    /// source: lifetime `requests`, `resolved` outcomes, and in-flight
+    /// `unresolved` lines. A healthy simulator keeps
+    /// `resolved + unresolved == requests` for both sources at all
+    /// times.
+    pub fn outcome_ledgers(&self) -> [(&'static str, crate::check::OutcomeLedger); 2] {
+        let l1i = self.mem.l1i_stats();
+        let ledger =
+            |outcomes: fdip_mem::PrefetchOutcomes, src: FillSrc| crate::check::OutcomeLedger {
+                requests: outcomes.requests,
+                resolved: outcomes.resolved(),
+                unresolved: self.mem.l1i_unresolved_prefetches(src),
+            };
+        [
+            ("fdp", ledger(l1i.outcomes_fdp, FillSrc::Fdp)),
+            ("pf", ledger(l1i.outcomes_pf, FillSrc::Pf)),
+        ]
     }
 
     /// Enables the event tracer with a ring buffer of `capacity` events

@@ -1,0 +1,559 @@
+//! The seeded CFG-level program generator.
+//!
+//! Programs are generated directly at the [`CfgProgram`] level —
+//! functions, basic blocks, terminators — and emitted through the typed
+//! `crates/program` seam, so every generated program is structurally
+//! valid by construction *and* the emit-time validator double-checks it.
+//!
+//! # Reducibility
+//!
+//! Control-flow graphs are kept **reducible** by dominator-aware edge
+//! insertion, the discipline structured-language compilers guarantee:
+//!
+//! * Loop regions are properly nested `[header, end]` intervals chosen
+//!   while walking the block list; the region's end block carries the
+//!   back-edge (`Cond` with a [`BranchBehavior::Loop`] trip model) to
+//!   its header, so the header dominates the whole region.
+//! * Every extra edge `src → dst` must satisfy: for each loop region
+//!   containing `dst`, either `src` is inside that region too or `dst`
+//!   *is* the region header. Nothing ever jumps into the middle of a
+//!   loop from outside — the second-entry pattern that makes a CFG
+//!   irreducible.
+//! * Backward edges other than region back-edges target enclosing
+//!   region headers only (a `continue`, never an arbitrary retreat).
+//!
+//! # Call graph
+//!
+//! Functions are layered by index: function `f` only ever calls
+//! functions with a larger index, so the call graph is acyclic and the
+//! call depth is bounded by the function count. Function 0 is the entry
+//! dispatcher; its final block jumps back to block 0, so the program
+//! runs forever (the engine samples as many committed instructions as
+//! the simulator asks for).
+//!
+//! # Footprint knobs
+//!
+//! [`FuzzParams`] ranges over function count, blocks per function, and
+//! body length span the L1i-resident-to-thrashing spectrum; the named
+//! [`FuzzProfile`]s package the spectrum's interesting points.
+
+use fdip_program::cfg::{CfgBlock, CfgFunction, CfgProgram, Terminator};
+use fdip_program::{BranchBehavior, IndirectSelect};
+use fdip_types::OpClass;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Tunable generator knobs. All ranges are inclusive.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FuzzParams {
+    /// Function count range (min 1; function 0 is the entry).
+    pub funcs: (usize, usize),
+    /// Blocks per function range (min 2: at least one body block plus
+    /// the closing block).
+    pub blocks: (usize, usize),
+    /// Straight-line body instructions per block range.
+    pub body: (usize, usize),
+    /// Probability a block opens a loop region (when nesting allows).
+    pub loop_prob: f64,
+    /// Maximum loop-nest depth.
+    pub max_loop_depth: usize,
+    /// Loop trip-count range for generated back-edges.
+    pub trip: (u32, u32),
+    /// Probability a non-closing block ends in a call.
+    pub call_prob: f64,
+    /// Probability a non-closing block gets an extra conditional edge.
+    pub cond_prob: f64,
+    /// Probability a generated call site / extra jump is indirect.
+    pub indirect_prob: f64,
+    /// Fraction of body instructions that are loads/stores.
+    pub mem_frac: f64,
+}
+
+impl Default for FuzzParams {
+    fn default() -> Self {
+        FuzzProfile::Mixed.params()
+    }
+}
+
+/// Named points on the footprint spectrum.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FuzzProfile {
+    /// A handful of tiny functions — comfortably L1i-resident.
+    Tiny,
+    /// Small programs with moderate control-flow density.
+    Small,
+    /// The default: wide knob ranges covering most shapes.
+    Mixed,
+    /// Code footprints past the L1i capacity — the thrashing regime
+    /// where fetch-directed prefetching earns its keep.
+    Large,
+}
+
+impl FuzzProfile {
+    /// All profiles, in documentation order.
+    pub const ALL: [FuzzProfile; 4] = [
+        FuzzProfile::Tiny,
+        FuzzProfile::Small,
+        FuzzProfile::Mixed,
+        FuzzProfile::Large,
+    ];
+
+    /// The profile's name (`tiny`/`small`/`mixed`/`large`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzProfile::Tiny => "tiny",
+            FuzzProfile::Small => "small",
+            FuzzProfile::Mixed => "mixed",
+            FuzzProfile::Large => "large",
+        }
+    }
+
+    /// Parses a profile name.
+    pub fn from_name(name: &str) -> Option<FuzzProfile> {
+        FuzzProfile::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The knob settings this profile packages.
+    pub fn params(self) -> FuzzParams {
+        match self {
+            FuzzProfile::Tiny => FuzzParams {
+                funcs: (1, 3),
+                blocks: (2, 5),
+                body: (0, 4),
+                loop_prob: 0.3,
+                max_loop_depth: 1,
+                trip: (2, 6),
+                call_prob: 0.3,
+                cond_prob: 0.4,
+                indirect_prob: 0.2,
+                mem_frac: 0.3,
+            },
+            FuzzProfile::Small => FuzzParams {
+                funcs: (3, 8),
+                blocks: (3, 8),
+                body: (1, 8),
+                loop_prob: 0.35,
+                max_loop_depth: 2,
+                trip: (2, 12),
+                call_prob: 0.35,
+                cond_prob: 0.5,
+                indirect_prob: 0.25,
+                mem_frac: 0.3,
+            },
+            FuzzProfile::Mixed => FuzzParams {
+                funcs: (2, 32),
+                blocks: (2, 12),
+                body: (0, 12),
+                loop_prob: 0.35,
+                max_loop_depth: 3,
+                trip: (2, 24),
+                call_prob: 0.4,
+                cond_prob: 0.5,
+                indirect_prob: 0.3,
+                mem_frac: 0.35,
+            },
+            FuzzProfile::Large => FuzzParams {
+                funcs: (48, 96),
+                blocks: (6, 16),
+                body: (6, 24),
+                loop_prob: 0.3,
+                max_loop_depth: 2,
+                trip: (2, 16),
+                call_prob: 0.45,
+                cond_prob: 0.45,
+                indirect_prob: 0.3,
+                mem_frac: 0.35,
+            },
+        }
+    }
+}
+
+/// One open loop region while walking a function's blocks.
+struct Region {
+    header: usize,
+    end: usize,
+}
+
+fn sample(rng: &mut SmallRng, (lo, hi): (usize, usize)) -> usize {
+    let lo = lo.min(hi);
+    rng.gen_range(lo..=lo.max(hi))
+}
+
+/// Generates one program description from `(params, seed)`. The same
+/// pair always yields the same [`CfgProgram`].
+pub fn generate(params: &FuzzParams, seed: u64) -> CfgProgram {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xcf6_f0dd);
+    let nfuncs = sample(&mut rng, params.funcs).max(1);
+    let funcs = (0..nfuncs)
+        .map(|f| generate_function(params, &mut rng, f, nfuncs))
+        .collect();
+    CfgProgram { funcs }
+}
+
+fn gen_body(params: &FuzzParams, rng: &mut SmallRng) -> Vec<OpClass> {
+    let len = sample(rng, params.body);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(params.mem_frac) {
+                if rng.gen_bool(0.6) {
+                    OpClass::Load
+                } else {
+                    OpClass::Store
+                }
+            } else {
+                *[OpClass::Alu, OpClass::Alu, OpClass::Mul, OpClass::Fp]
+                    .choose(rng)
+                    .unwrap_or(&OpClass::Alu)
+            }
+        })
+        .collect()
+}
+
+fn gen_direction(params: &FuzzParams, rng: &mut SmallRng) -> BranchBehavior {
+    match rng.gen_range(0..3u32) {
+        0 => BranchBehavior::Bias {
+            // Two decimals keep the JSON encoding short and exact.
+            p_taken: f64::from(rng.gen_range(0..=100u32)) / 100.0,
+        },
+        1 => {
+            let len = rng.gen_range(2..=16u32) as u8;
+            BranchBehavior::Pattern {
+                bits: rng.gen::<u64>() & ((1u64 << len) - 1),
+                len,
+            }
+        }
+        _ => BranchBehavior::Loop {
+            trip: rng.gen_range(params.trip.0..=params.trip.0.max(params.trip.1)),
+        },
+    }
+}
+
+fn gen_select(rng: &mut SmallRng) -> IndirectSelect {
+    match rng.gen_range(0..3u32) {
+        0 => IndirectSelect::Random,
+        1 => IndirectSelect::RoundRobin,
+        _ => IndirectSelect::Sticky {
+            switch_prob: f64::from(rng.gen_range(0..=20u32)) / 100.0,
+        },
+    }
+}
+
+/// Picks up to `want` distinct callees deeper than `func` in the layered
+/// call graph, or `None` when `func` is the deepest layer.
+fn pick_callees(rng: &mut SmallRng, func: usize, nfuncs: usize, want: usize) -> Option<Vec<usize>> {
+    if func + 1 >= nfuncs {
+        return None;
+    }
+    let mut callees: Vec<usize> = (func + 1..nfuncs).collect();
+    callees.shuffle(rng);
+    callees.truncate(want.clamp(1, callees.len()));
+    callees.sort_unstable();
+    Some(callees)
+}
+
+/// `src → dst` respects the reducibility discipline: no region that
+/// contains `dst` excludes `src` unless `dst` is that region's header.
+fn edge_allowed(regions: &[Region], src: usize, dst: usize) -> bool {
+    regions.iter().all(|r| {
+        let contains_dst = (r.header..=r.end).contains(&dst);
+        let contains_src = (r.header..=r.end).contains(&src);
+        !contains_dst || contains_src || dst == r.header
+    })
+}
+
+/// Targets reachable from `src` under the discipline: forward blocks
+/// plus headers of regions enclosing `src` (backward `continue` edges).
+fn allowed_targets(regions: &[Region], src: usize, nblocks: usize) -> Vec<usize> {
+    (0..nblocks)
+        .filter(|&dst| {
+            if dst == src {
+                return false;
+            }
+            let backward = dst < src;
+            if backward {
+                // Backward edges only re-enter enclosing headers.
+                regions
+                    .iter()
+                    .any(|r| r.header == dst && (r.header..=r.end).contains(&src))
+            } else {
+                edge_allowed(regions, src, dst)
+            }
+        })
+        .collect()
+}
+
+fn generate_function(
+    params: &FuzzParams,
+    rng: &mut SmallRng,
+    func: usize,
+    nfuncs: usize,
+) -> CfgFunction {
+    let nblocks = sample(rng, params.blocks).max(2);
+    let last = nblocks - 1;
+
+    // Choose properly-nested loop regions over blocks 0..last-1 (the
+    // closing block stays outside every region: `Cond` back-edges are
+    // invalid in final position).
+    let mut regions: Vec<Region> = Vec::new();
+    if last >= 1 {
+        let mut open: Vec<Region> = Vec::new();
+        for b in 0..last {
+            while open.last().is_some_and(|r| r.end < b) {
+                let done = open.pop();
+                regions.extend(done);
+            }
+            let cap = open.last().map_or(last - 1, |r| r.end);
+            if open.len() < params.max_loop_depth && b < cap && rng.gen_bool(params.loop_prob) {
+                let end = rng.gen_range(b..=cap).max(b);
+                open.push(Region { header: b, end });
+            }
+        }
+        regions.extend(open);
+        regions.sort_unstable_by_key(|r| (r.header, r.end));
+    }
+
+    let mut blocks: Vec<CfgBlock> = (0..nblocks)
+        .map(|_| CfgBlock {
+            body: gen_body(params, rng),
+            term: Terminator::FallThrough,
+        })
+        .collect();
+
+    // Region ends carry the loop back-edge.
+    for r in &regions {
+        blocks[r.end].term = Terminator::Cond {
+            block: r.header,
+            behavior: BranchBehavior::Loop {
+                trip: rng.gen_range(params.trip.0..=params.trip.0.max(params.trip.1)),
+            },
+        };
+    }
+
+    // Closing block: entry function spins forever, others return.
+    blocks[last].term = if func == 0 {
+        Terminator::Jump { block: 0 }
+    } else {
+        Terminator::Return
+    };
+
+    // Sprinkle calls and extra edges over the remaining fall-throughs.
+    for (b, blk) in blocks.iter_mut().enumerate().take(last) {
+        if !matches!(blk.term, Terminator::FallThrough) {
+            continue;
+        }
+        if rng.gen_bool(params.call_prob) {
+            let fanout = rng.gen_range(1..=3usize);
+            if let Some(callees) = pick_callees(rng, func, nfuncs, fanout) {
+                blk.term = if rng.gen_bool(params.indirect_prob) && callees.len() > 1 {
+                    Terminator::IndirectCall {
+                        funcs: callees,
+                        select: gen_select(rng),
+                    }
+                } else {
+                    Terminator::Call { func: callees[0] }
+                };
+                continue;
+            }
+        }
+        if rng.gen_bool(params.cond_prob) {
+            let targets = allowed_targets(&regions, b, nblocks);
+            if targets.is_empty() {
+                continue;
+            }
+            if rng.gen_bool(params.indirect_prob) && targets.len() > 1 {
+                let mut picks = targets;
+                picks.shuffle(rng);
+                picks.truncate(rng.gen_range(2..=picks.len().min(4)));
+                picks.sort_unstable();
+                blk.term = Terminator::IndirectJump {
+                    blocks: picks,
+                    select: gen_select(rng),
+                };
+            } else if let Some(&t) = targets.choose(rng) {
+                blk.term = Terminator::Cond {
+                    block: t,
+                    behavior: gen_direction(params, rng),
+                };
+            }
+        }
+    }
+
+    CfgFunction { blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_program::ExecutionEngine;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for profile in FuzzProfile::ALL {
+            let p = profile.params();
+            assert_eq!(generate(&p, 42), generate(&p, 42), "{profile:?}");
+            // Different seeds almost surely differ.
+            assert_ne!(generate(&p, 1), generate(&p, 2), "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn every_generated_program_emits_and_validates() {
+        for profile in FuzzProfile::ALL {
+            let params = profile.params();
+            for seed in 0..40 {
+                let cfg = generate(&params, seed);
+                let program = cfg
+                    .emit("g")
+                    .unwrap_or_else(|e| panic!("{profile:?} seed {seed}: {e}"));
+                assert!(program.image().len() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_execute_forever() {
+        // The engine must be able to pull an unbounded committed stream:
+        // the entry dispatcher spins, and recovery handles the rest.
+        let params = FuzzProfile::Mixed.params();
+        for seed in 0..10 {
+            let program = generate(&params, seed).emit("g").unwrap();
+            let n = ExecutionEngine::new(&program, 3).take(20_000).count();
+            assert_eq!(n, 20_000, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn profiles_span_the_footprint_spectrum() {
+        let avg = |profile: FuzzProfile| -> f64 {
+            let params = profile.params();
+            (0..20)
+                .map(|s| generate(&params, s).instr_count())
+                .sum::<usize>() as f64
+                / 20.0
+        };
+        let tiny = avg(FuzzProfile::Tiny);
+        let large = avg(FuzzProfile::Large);
+        // Tiny fits an L1i set comfortably; large overflows a 32 KiB
+        // L1i (8192 four-byte instruction slots).
+        assert!(tiny < 64.0, "tiny average footprint {tiny}");
+        assert!(large > 8192.0, "large average footprint {large}");
+    }
+
+    /// Intra-function successors of block `b`.
+    fn successors(f: &CfgFunction, b: usize) -> Vec<usize> {
+        let fall = (b + 1 < f.blocks.len()).then_some(b + 1);
+        match &f.blocks[b].term {
+            Terminator::FallThrough | Terminator::Call { .. } | Terminator::IndirectCall { .. } => {
+                fall.into_iter().collect()
+            }
+            Terminator::Jump { block } => vec![*block],
+            Terminator::Cond { block, .. } => fall.into_iter().chain([*block]).collect(),
+            Terminator::IndirectJump { blocks, .. } => blocks.clone(),
+            Terminator::Return => vec![],
+        }
+    }
+
+    /// Iterative dominator sets (bit-per-block; functions are small).
+    fn dominators(f: &CfgFunction) -> Vec<u64> {
+        let n = f.blocks.len();
+        assert!(n <= 64, "test helper assumes <= 64 blocks");
+        let all = if n == 64 { u64::MAX } else { (1 << n) - 1 };
+        let mut dom = vec![all; n];
+        dom[0] = 1;
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for b in 0..n {
+            for s in successors(f, b) {
+                preds[s].push(b);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..n {
+                let meet = preds[b].iter().map(|&p| dom[p]).fold(all, |acc, d| acc & d);
+                let next = meet | (1 << b);
+                if next != dom[b] {
+                    dom[b] = next;
+                    changed = true;
+                }
+            }
+        }
+        dom
+    }
+
+    #[test]
+    fn generated_cfgs_are_reducible() {
+        // Textbook check: delete every edge whose target dominates its
+        // source (the back edges); a reducible CFG's remainder is
+        // acyclic.
+        let params = FuzzProfile::Mixed.params();
+        for seed in 0..40 {
+            let cfg = generate(&params, seed);
+            for (fi, f) in cfg.funcs.iter().enumerate() {
+                let dom = dominators(f);
+                let n = f.blocks.len();
+                let forward: Vec<Vec<usize>> = (0..n)
+                    .map(|b| {
+                        successors(f, b)
+                            .into_iter()
+                            .filter(|&t| dom[b] & (1 << t) == 0)
+                            .collect()
+                    })
+                    .collect();
+                // Cycle check over the forward-edge remainder.
+                let mut state = vec![0u8; n]; // 0 new, 1 in stack, 2 done
+                let mut stack: Vec<(usize, usize)> = Vec::new();
+                for root in 0..n {
+                    if state[root] != 0 {
+                        continue;
+                    }
+                    state[root] = 1;
+                    stack.push((root, 0));
+                    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+                        if *i < forward[b].len() {
+                            let t = forward[b][*i];
+                            *i += 1;
+                            assert_ne!(
+                                state[t], 1,
+                                "seed {seed} func {fi}: irreducible cycle through {t}"
+                            );
+                            if state[t] == 0 {
+                                state[t] = 1;
+                                stack.push((t, 0));
+                            }
+                        } else {
+                            state[b] = 2;
+                            stack.pop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calls_only_target_deeper_layers() {
+        let params = FuzzProfile::Large.params();
+        let cfg = generate(&params, 11);
+        for (fi, f) in cfg.funcs.iter().enumerate() {
+            for blk in &f.blocks {
+                match &blk.term {
+                    Terminator::Call { func } => assert!(*func > fi),
+                    Terminator::IndirectCall { funcs, .. } => {
+                        assert!(funcs.iter().all(|&c| c > fi))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in FuzzProfile::ALL {
+            assert_eq!(FuzzProfile::from_name(p.name()), Some(p));
+        }
+        assert_eq!(FuzzProfile::from_name("bogus"), None);
+    }
+}

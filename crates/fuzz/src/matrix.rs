@@ -1,0 +1,419 @@
+//! The differential-testing harness: every generated program is
+//! simulated under a frontier config matrix and the cross-cutting
+//! invariants are checked on each run.
+//!
+//! Four passes per batch:
+//!
+//! 1. **Checked pass** — `run_workload_checked` per `(config, program)`
+//!    cell on a seeded job pool: stall-partition (measured + full
+//!    interval), outcome-ledger (FDP + dedicated-prefetcher sources),
+//!    and the retire-bound sanity check. Fault injection perturbs this
+//!    pass's results to prove the detection pipeline is live.
+//! 2. **Baseline pass** — the whole grid through
+//!    [`Runner::from_programs`] on a 1-worker pool; each cell's
+//!    `WorkloadResult` JSON string is the byte-identity reference, and
+//!    its counters must equal the checked pass's (same seed, same run).
+//! 3. **Jobs pass** — the same grid on an N-worker pool; every cell
+//!    must serialize byte-identically to the baseline
+//!    (`FDIP_JOBS`-independence).
+//! 4. **Repeat pass** — the N-worker grid again; byte-stability across
+//!    repeated runs.
+
+use std::sync::Arc;
+
+use crate::gen::FuzzProfile;
+use fdip_exec::Pool;
+use fdip_harness::{Runner, WorkloadResult};
+use fdip_prefetch::PrefetcherKind;
+use fdip_program::Program;
+use fdip_sim::{
+    check_outcome_ledger, check_stall_partition, run_workload_checked, CoreConfig,
+    InvariantViolation, OutcomeLedger, StallReason,
+};
+use fdip_telemetry::ToJson;
+
+/// Functional-warmup instructions for fuzz configs. The stock configs
+/// pre-train architecturally for 2M instructions per run — right for
+/// paper-fidelity sweeps, hopeless for thousands of fuzz sims. The
+/// invariants hold for any warm-up length.
+pub const FUZZ_FUNC_WARMUP: u64 = 2_000;
+
+/// Retired instructions may miss the measure target by at most the
+/// commit width of one cycle in either direction: the final cycle can
+/// overshoot the boundary, and a warm-up-phase overshoot shorts the
+/// measured interval by the same mechanism. 64 is a config-independent
+/// ceiling on the commit width.
+pub const RETIRE_SLACK: u64 = 64;
+
+/// The frontier config matrix (mirrors `tests/stall_accounting.rs`),
+/// with functional warm-up cut to [`FUZZ_FUNC_WARMUP`].
+pub fn config_matrix() -> Vec<(&'static str, CoreConfig)> {
+    let mut no_pfc = CoreConfig::fdp();
+    no_pfc.pfc = false;
+    let mut perfect_btb = CoreConfig::fdp();
+    perfect_btb.perfect_btb = true;
+    let mut fnlmma = CoreConfig::fdp();
+    fnlmma.prefetcher = PrefetcherKind::FnlMma;
+    let mut matrix = vec![
+        ("fdp", CoreConfig::fdp()),
+        ("fdp_no_pfc", no_pfc),
+        ("no_fdp", CoreConfig::no_fdp()),
+        ("perfect_btb", perfect_btb),
+        ("fnlmma", fnlmma),
+    ];
+    for (_, cfg) in &mut matrix {
+        cfg.func_warmup = FUZZ_FUNC_WARMUP;
+    }
+    matrix
+}
+
+/// Deliberate fault injection: perturbs every checked run's results
+/// post-simulation, so the harness must detect (and shrink) a violation
+/// on every program. Proves the pipeline catches real bugs.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Inject {
+    /// No perturbation (the honest mode).
+    None,
+    /// Leak one cycle into a stall bucket without advancing the clock —
+    /// the stall partition no longer sums to the cycle count.
+    StallLeak,
+    /// Drop one request from the outcome ledger — `resolved +
+    /// unresolved` no longer covers `requests`.
+    LedgerDrop,
+}
+
+impl Inject {
+    /// Parses an injection-mode name (`stall-leak` / `ledger-drop`).
+    pub fn from_name(name: &str) -> Option<Inject> {
+        match name {
+            "stall-leak" => Some(Inject::StallLeak),
+            "ledger-drop" => Some(Inject::LedgerDrop),
+            _ => None,
+        }
+    }
+
+    /// The mode's report name (inverse of [`Inject::from_name`], plus
+    /// `none`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Inject::None => "none",
+            Inject::StallLeak => "stall-leak",
+            Inject::LedgerDrop => "ledger-drop",
+        }
+    }
+}
+
+/// Harness knobs for one batch.
+#[derive(Clone, Debug)]
+pub struct MatrixOptions {
+    /// Warm-up instructions per sim (timed, before the measured window).
+    pub warmup: u64,
+    /// Measured instructions per sim.
+    pub measure: u64,
+    /// Worker count for the N-worker passes (the baseline pass always
+    /// runs 1 worker).
+    pub jobs: usize,
+    /// Fault injection mode.
+    pub inject: Inject,
+}
+
+impl Default for MatrixOptions {
+    fn default() -> Self {
+        MatrixOptions {
+            warmup: 1_000,
+            measure: 3_000,
+            jobs: 2,
+            inject: Inject::None,
+        }
+    }
+}
+
+/// One invariant violation attributed to its `(program, config)` cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellViolation {
+    /// Generated program name.
+    pub program: String,
+    /// Config-matrix column name.
+    pub config: String,
+    /// The violated invariant.
+    pub violation: InvariantViolation,
+}
+
+/// Names of every check the harness performs, in report order.
+pub const CHECK_NAMES: [&str; 5] = [
+    "stall_partition",
+    "outcome_ledger",
+    "retire_bound",
+    "jobs_identity",
+    "repeat_identity",
+];
+
+/// Result of one differential batch.
+#[derive(Clone, Debug, Default)]
+pub struct MatrixOutcome {
+    /// Violations in deterministic (config-major, program-minor) order.
+    pub violations: Vec<CellViolation>,
+    /// Simulations executed.
+    pub sims: u64,
+    /// Per-check assertion counts, in [`CHECK_NAMES`] order.
+    pub checks: Vec<(&'static str, u64)>,
+}
+
+impl MatrixOutcome {
+    /// Programs (by name) with at least one violation, deduplicated,
+    /// in first-seen order.
+    pub fn failing_programs(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for v in &self.violations {
+            if !seen.contains(&v.program) {
+                seen.push(v.program.clone());
+            }
+        }
+        seen
+    }
+}
+
+fn count(checks: &mut [(&'static str, u64)], name: &str, n: u64) {
+    if let Some(slot) = checks.iter_mut().find(|(k, _)| *k == name) {
+        slot.1 += n;
+    }
+}
+
+/// Runs the full differential battery over `programs` and returns every
+/// violation found. `programs` pairs names with already-emitted images.
+pub fn run_matrix(programs: &[(String, Arc<Program>)], opts: &MatrixOptions) -> MatrixOutcome {
+    let matrix = config_matrix();
+    let mut out = MatrixOutcome {
+        checks: CHECK_NAMES.iter().map(|&n| (n, 0)).collect(),
+        ..MatrixOutcome::default()
+    };
+    if programs.is_empty() {
+        return out;
+    }
+    let jobs_pool = Arc::new(Pool::new(opts.jobs.max(1)));
+
+    // Pass 1: checked runs, batched config-major on the N-worker pool.
+    let mut checked_jobs = Vec::with_capacity(matrix.len() * programs.len());
+    for (_, cfg) in &matrix {
+        for (_, program) in programs {
+            let cfg = cfg.clone();
+            let program = Arc::clone(program);
+            let (warmup, measure) = (opts.warmup, opts.measure);
+            checked_jobs.push(move || run_workload_checked(&cfg, &program, warmup, measure));
+        }
+    }
+    let checked = jobs_pool.run_batch(checked_jobs);
+    out.sims += checked.len() as u64;
+    for (flat, run) in checked.iter().enumerate() {
+        let (cname, _) = &matrix[flat / programs.len()];
+        let (pname, _) = &programs[flat % programs.len()];
+        let mut violations = run.violations.clone();
+        count(&mut out.checks, "stall_partition", 2);
+        count(&mut out.checks, "outcome_ledger", 2);
+
+        // Retire-bound sanity: the run measured what it was told to.
+        count(&mut out.checks, "retire_bound", 1);
+        let retired = run.stats.retired;
+        let lo = opts.measure.saturating_sub(RETIRE_SLACK);
+        if retired <= lo || retired >= opts.measure + RETIRE_SLACK {
+            violations.push(InvariantViolation {
+                invariant: "retire_bound",
+                detail: format!(
+                    "retired {retired} outside ({lo}, {})",
+                    opts.measure + RETIRE_SLACK
+                ),
+            });
+        }
+
+        // Fault injection: perturb this run's results and re-check with
+        // the same checkers the honest path uses.
+        match opts.inject {
+            Inject::None => {}
+            Inject::StallLeak => {
+                let mut stats = run.stats;
+                stats.stall.charge(StallReason::Backend);
+                violations.extend(check_stall_partition("injected", &stats));
+            }
+            Inject::LedgerDrop => {
+                let o = run.stats.l1i.outcomes_fdp;
+                let ledger = OutcomeLedger {
+                    requests: o.requests + 1,
+                    resolved: o.resolved(),
+                    unresolved: o.requests - o.resolved(),
+                };
+                violations.extend(check_outcome_ledger("fdp", ledger));
+            }
+        }
+
+        out.violations
+            .extend(violations.into_iter().map(|violation| CellViolation {
+                program: pname.clone(),
+                config: (*cname).to_string(),
+                violation,
+            }));
+    }
+
+    // Passes 2-4: grid byte-identity through the Runner on 1 and N
+    // workers. Serialize each cell exactly the way results.json does.
+    let configs: Vec<CoreConfig> = matrix.iter().map(|(_, c)| c.clone()).collect();
+    let serialize_grid = |pool: Arc<Pool>| -> Vec<Vec<String>> {
+        let runner =
+            Runner::from_programs(programs.to_vec(), opts.warmup, opts.measure).with_pool(pool);
+        runner
+            .run_configs_detailed(&configs)
+            .into_iter()
+            .map(|per_cfg| {
+                per_cfg
+                    .into_iter()
+                    .zip(programs)
+                    .map(|((stats, dists), (name, _))| {
+                        WorkloadResult {
+                            name: name.clone(),
+                            family: "generated".to_string(),
+                            stats,
+                            dists,
+                        }
+                        .to_json()
+                        .to_string()
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let baseline = serialize_grid(Arc::new(Pool::new(1)));
+    let jobs_grid = serialize_grid(Arc::clone(&jobs_pool));
+    let repeat_grid = serialize_grid(jobs_pool);
+    out.sims += 3 * (matrix.len() * programs.len()) as u64;
+
+    let mut diff_grids = |name: &'static str, a: &[Vec<String>], b: &[Vec<String>]| {
+        for (ci, (cname, _)) in matrix.iter().enumerate() {
+            for (pi, (pname, _)) in programs.iter().enumerate() {
+                count(&mut out.checks, name, 1);
+                if a[ci][pi] != b[ci][pi] {
+                    out.violations.push(CellViolation {
+                        program: pname.clone(),
+                        config: (*cname).to_string(),
+                        violation: InvariantViolation {
+                            invariant: name,
+                            detail: format!(
+                                "serialized results differ between runs ({} vs {} bytes)",
+                                a[ci][pi].len(),
+                                b[ci][pi].len()
+                            ),
+                        },
+                    });
+                }
+            }
+        }
+    };
+    diff_grids("jobs_identity", &baseline, &jobs_grid);
+    diff_grids("repeat_identity", &jobs_grid, &repeat_grid);
+
+    out
+}
+
+/// `true` when `program` (alone) produces at least one violation under
+/// `opts` — the shrinker's reproduction predicate.
+pub fn program_fails(name: &str, program: Arc<Program>, opts: &MatrixOptions) -> bool {
+    let batch = vec![(name.to_string(), program)];
+    !run_matrix(&batch, opts).violations.is_empty()
+}
+
+/// Convenience: emit + run a whole seed range of one profile.
+pub fn fuzz_seed_range(
+    profile: FuzzProfile,
+    base_seed: u64,
+    count: u64,
+    opts: &MatrixOptions,
+) -> (Vec<(String, Arc<Program>)>, MatrixOutcome) {
+    let params = profile.params();
+    let programs: Vec<(String, Arc<Program>)> = (0..count)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i);
+            let name = format!("fuzz_{}_{seed:08x}", profile.name());
+            let program = crate::gen::generate(&params, seed)
+                .emit(&name)
+                .expect("generator emits valid programs");
+            (name, Arc::new(program))
+        })
+        .collect();
+    let outcome = run_matrix(&programs, opts);
+    (programs, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, FuzzProfile};
+
+    fn one_program(seed: u64) -> Vec<(String, Arc<Program>)> {
+        let p = generate(&FuzzProfile::Tiny.params(), seed)
+            .emit("m")
+            .unwrap();
+        vec![("m".to_string(), Arc::new(p))]
+    }
+
+    fn quick_opts() -> MatrixOptions {
+        MatrixOptions {
+            warmup: 500,
+            measure: 1_500,
+            jobs: 2,
+            inject: Inject::None,
+        }
+    }
+
+    #[test]
+    fn matrix_has_the_five_frontier_configs() {
+        let names: Vec<&str> = config_matrix().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["fdp", "fdp_no_pfc", "no_fdp", "perfect_btb", "fnlmma"]
+        );
+        for (_, cfg) in config_matrix() {
+            assert_eq!(cfg.func_warmup, FUZZ_FUNC_WARMUP);
+        }
+    }
+
+    #[test]
+    fn healthy_batch_passes_all_checks() {
+        let out = run_matrix(&one_program(5), &quick_opts());
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.sims, 20); // 4 passes x 5 configs x 1 program
+        for &(name, n) in &out.checks {
+            assert!(n > 0, "check {name} never ran");
+        }
+    }
+
+    #[test]
+    fn injected_stall_leak_is_caught() {
+        let mut opts = quick_opts();
+        opts.inject = Inject::StallLeak;
+        let out = run_matrix(&one_program(6), &opts);
+        assert!(!out.violations.is_empty());
+        assert!(out
+            .violations
+            .iter()
+            .all(|v| v.violation.invariant == "stall_partition"));
+        assert_eq!(out.failing_programs(), ["m"]);
+    }
+
+    #[test]
+    fn injected_ledger_drop_is_caught() {
+        let mut opts = quick_opts();
+        opts.inject = Inject::LedgerDrop;
+        let out = run_matrix(&one_program(7), &opts);
+        assert!(!out.violations.is_empty());
+        assert!(out
+            .violations
+            .iter()
+            .all(|v| v.violation.invariant == "outcome_ledger"));
+        assert!(program_fails("m", Arc::clone(&one_program(7)[0].1), &opts));
+    }
+
+    #[test]
+    fn inject_names_parse() {
+        assert_eq!(Inject::from_name("stall-leak"), Some(Inject::StallLeak));
+        assert_eq!(Inject::from_name("ledger-drop"), Some(Inject::LedgerDrop));
+        assert_eq!(Inject::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! The fuzz-report document (METRICS.md Document 7).
+//!
+//! Reports are fully deterministic for a fixed `(seed, count, profile,
+//! warmup, measure, inject)` tuple: no wall-clock timestamps, no host
+//! identity, and no worker count — results are asserted
+//! `FDIP_JOBS`-independent, so the pool size cannot leak into any
+//! counter and is deliberately not echoed. `scripts/verify.sh` relies
+//! on this to byte-diff reports across runs and worker counts.
+
+use crate::matrix::{MatrixOptions, MatrixOutcome};
+use fdip_telemetry::{Json, SCHEMA_VERSION};
+
+/// Run metadata echoed into the report.
+#[derive(Clone, Debug)]
+pub struct ReportMeta {
+    /// Base generator seed.
+    pub seed: u64,
+    /// Programs generated.
+    pub count: u64,
+    /// Generator profile name.
+    pub profile: String,
+    /// Shrunk replayable cases written (file stems, sorted).
+    pub cases: Vec<String>,
+}
+
+/// Builds the Document 7 fuzz report.
+pub fn report_to_json(meta: &ReportMeta, opts: &MatrixOptions, out: &MatrixOutcome) -> Json {
+    let configs: Vec<Json> = crate::matrix::config_matrix()
+        .iter()
+        .map(|(name, _)| Json::from(*name))
+        .collect();
+    let mut checks = Json::obj();
+    for &(name, n) in &out.checks {
+        checks = checks.with(name, n);
+    }
+    let violations: Vec<Json> = out
+        .violations
+        .iter()
+        .map(|v| {
+            Json::obj()
+                .with("program", v.program.as_str())
+                .with("config", v.config.as_str())
+                .with("invariant", v.violation.invariant)
+                .with("detail", v.violation.detail.as_str())
+        })
+        .collect();
+    let cases: Vec<Json> = meta.cases.iter().map(|c| Json::from(c.as_str())).collect();
+    Json::obj().with("schema_version", SCHEMA_VERSION).with(
+        "fuzz",
+        Json::obj()
+            .with("tool", "fdip-fuzz")
+            .with("seed", meta.seed)
+            .with("count", meta.count)
+            .with("profile", meta.profile.as_str())
+            .with("warmup", opts.warmup)
+            .with("measure", opts.measure)
+            .with("inject", opts.inject.name())
+            .with("configs", Json::Arr(configs))
+            .with("programs", meta.count)
+            .with("sims", out.sims)
+            .with("checks", checks)
+            .with("violations", Json::Arr(violations))
+            .with("failures", out.failing_programs().len() as u64)
+            .with("cases", Json::Arr(cases)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{fuzz_seed_range, Inject};
+    use crate::FuzzProfile;
+
+    fn quick_opts(inject: Inject) -> MatrixOptions {
+        MatrixOptions {
+            warmup: 500,
+            measure: 1_500,
+            jobs: 2,
+            inject,
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic_and_well_formed() {
+        let opts = quick_opts(Inject::None);
+        let run = || {
+            let (_, out) = fuzz_seed_range(FuzzProfile::Tiny, 11, 2, &opts);
+            let meta = ReportMeta {
+                seed: 11,
+                count: 2,
+                profile: "tiny".to_string(),
+                cases: vec![],
+            };
+            report_to_json(&meta, &opts, &out).to_string()
+        };
+        let a = run();
+        assert_eq!(a, run(), "report bytes differ across identical runs");
+        let doc = Json::parse(&a).unwrap();
+        let fuzz = doc.get("fuzz").unwrap();
+        assert_eq!(fuzz.get("tool").and_then(Json::as_str), Some("fdip-fuzz"));
+        assert_eq!(fuzz.get("sims").and_then(Json::as_u64), Some(40));
+        assert_eq!(fuzz.get("failures").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            fuzz.get("configs")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(5)
+        );
+        let checks = fuzz.get("checks").unwrap();
+        for name in crate::matrix::CHECK_NAMES {
+            assert!(
+                checks.get(name).and_then(Json::as_u64).unwrap_or(0) > 0,
+                "check {name} missing from report"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_failures_surface_in_the_report() {
+        let opts = quick_opts(Inject::StallLeak);
+        let (_, out) = fuzz_seed_range(FuzzProfile::Tiny, 3, 1, &opts);
+        let meta = ReportMeta {
+            seed: 3,
+            count: 1,
+            profile: "tiny".to_string(),
+            cases: vec!["case_fuzz_tiny_00000003".to_string()],
+        };
+        let doc = report_to_json(&meta, &opts, &out);
+        let fuzz = doc.get("fuzz").unwrap();
+        assert_eq!(
+            fuzz.get("inject").and_then(Json::as_str),
+            Some("stall-leak")
+        );
+        assert_eq!(fuzz.get("failures").and_then(Json::as_u64), Some(1));
+        assert!(!fuzz
+            .get("violations")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            fuzz.get("cases").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+    }
+}

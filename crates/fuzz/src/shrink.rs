@@ -1,0 +1,274 @@
+//! Test-case minimization: iterative function / block / edge removal
+//! while the failure keeps reproducing.
+//!
+//! The shrinker is generator-agnostic — it works on the [`CfgProgram`]
+//! description, not on generator parameters — and fully deterministic:
+//! candidates are enumerated in a fixed order and the first one that
+//! still reproduces the failure is adopted (greedy descent, restarted
+//! after every adoption until a whole sweep adopts nothing or the trial
+//! budget runs out). Every candidate is validated through the typed
+//! `emit` seam before the predicate sees it, so the shrinker can never
+//! hand the harness a malformed program.
+
+use fdip_program::cfg::{CfgProgram, Terminator};
+
+/// Reduction passes in sweep order, most aggressive first.
+fn candidates(p: &CfgProgram) -> Vec<CfgProgram> {
+    let mut out = Vec::new();
+    // 1. Drop a whole function (deepest first keeps the layering tight).
+    for f in (1..p.funcs.len()).rev() {
+        out.push(remove_function(p, f));
+    }
+    // 2. Drop a non-closing block.
+    for (fi, func) in p.funcs.iter().enumerate() {
+        for b in 0..func.blocks.len().saturating_sub(1) {
+            out.push(remove_block(p, fi, b));
+        }
+    }
+    // 3. Simplify a terminator (remove one edge / call).
+    for (fi, func) in p.funcs.iter().enumerate() {
+        for (b, blk) in func.blocks.iter().enumerate() {
+            if let Some(simpler) = simplify_terminator(&blk.term, b + 1 == func.blocks.len()) {
+                let mut next = p.clone();
+                next.funcs[fi].blocks[b].term = simpler;
+                out.push(next);
+            }
+        }
+    }
+    // 4. Halve a block body.
+    for (fi, func) in p.funcs.iter().enumerate() {
+        for (b, blk) in func.blocks.iter().enumerate() {
+            if !blk.body.is_empty() {
+                let mut next = p.clone();
+                next.funcs[fi].blocks[b].body.truncate(blk.body.len() / 2);
+                out.push(next);
+            }
+        }
+    }
+    out
+}
+
+fn remove_function(p: &CfgProgram, target: usize) -> CfgProgram {
+    let mut next = p.clone();
+    next.funcs.remove(target);
+    for func in &mut next.funcs {
+        for blk in &mut func.blocks {
+            blk.term = match blk.term.clone() {
+                Terminator::Call { func } if func == target => Terminator::FallThrough,
+                Terminator::Call { func } if func > target => Terminator::Call { func: func - 1 },
+                Terminator::IndirectCall { funcs, select } => {
+                    let remapped: Vec<usize> = funcs
+                        .into_iter()
+                        .filter(|&f| f != target)
+                        .map(|f| if f > target { f - 1 } else { f })
+                        .collect();
+                    if remapped.is_empty() {
+                        Terminator::FallThrough
+                    } else {
+                        Terminator::IndirectCall {
+                            funcs: remapped,
+                            select,
+                        }
+                    }
+                }
+                other => other,
+            };
+        }
+    }
+    next
+}
+
+fn remove_block(p: &CfgProgram, func: usize, target: usize) -> CfgProgram {
+    let mut next = p.clone();
+    next.funcs[func].blocks.remove(target);
+    let remap = |t: usize| if t > target { t - 1 } else { t };
+    for blk in &mut next.funcs[func].blocks {
+        blk.term = match blk.term.clone() {
+            Terminator::Jump { block } => Terminator::Jump {
+                block: remap(block),
+            },
+            Terminator::Cond { block, behavior } => Terminator::Cond {
+                block: remap(block),
+                behavior,
+            },
+            Terminator::IndirectJump { blocks, select } => Terminator::IndirectJump {
+                blocks: blocks.into_iter().map(remap).collect(),
+                select,
+            },
+            other => other,
+        };
+    }
+    next
+}
+
+/// One-step-simpler terminator, or `None` if already minimal. `last`
+/// blocks keep a function-closing form.
+fn simplify_terminator(t: &Terminator, last: bool) -> Option<Terminator> {
+    match t {
+        Terminator::FallThrough | Terminator::Return => None,
+        Terminator::Jump { .. } if last => None,
+        Terminator::Jump { .. } => Some(Terminator::FallThrough),
+        Terminator::Cond { .. } => Some(Terminator::FallThrough),
+        Terminator::Call { .. } => Some(Terminator::FallThrough),
+        Terminator::IndirectCall { funcs, .. } => Some(Terminator::Call { func: funcs[0] }),
+        Terminator::IndirectJump { blocks, .. } => Some(Terminator::Jump { block: blocks[0] }),
+    }
+}
+
+/// Greedily minimizes `program` while `fails` keeps returning `true`.
+///
+/// `fails` is only ever called on programs that pass the typed CFG
+/// validator; `max_trials` bounds the number of predicate evaluations
+/// (each may be a full config-matrix run). Returns the smallest failing
+/// program found — `program` itself if nothing smaller reproduces.
+pub fn shrink(
+    program: &CfgProgram,
+    fails: &mut dyn FnMut(&CfgProgram) -> bool,
+    max_trials: usize,
+) -> CfgProgram {
+    let mut best = program.clone();
+    let mut trials = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if trials >= max_trials {
+                return best;
+            }
+            if cand.validate().is_err() {
+                continue;
+            }
+            trials += 1;
+            if fails(&cand) {
+                best = cand;
+                improved = true;
+                break; // restart enumeration from the smaller program
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, FuzzProfile};
+    use fdip_program::cfg::{CfgBlock, CfgFunction};
+
+    fn has_indirect_call(p: &CfgProgram) -> bool {
+        p.funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .any(|b| matches!(b.term, Terminator::IndirectCall { .. }))
+    }
+
+    #[test]
+    fn shrinks_to_a_minimal_reproducer() {
+        // Find a generated program containing an indirect call and
+        // shrink it while preserving that property.
+        let params = FuzzProfile::Mixed.params();
+        let original = (0..100)
+            .map(|s| generate(&params, s))
+            .find(has_indirect_call)
+            .expect("mixed profile generates indirect calls");
+        let mut predicate = has_indirect_call;
+        let shrunk = shrink(&original, &mut predicate, 500);
+        assert!(has_indirect_call(&shrunk));
+        assert!(shrunk.validate().is_ok());
+        assert!(
+            shrunk.instr_count() < original.instr_count(),
+            "no reduction: {} -> {}",
+            original.instr_count(),
+            shrunk.instr_count()
+        );
+        // A minimal indirect-call reproducer needs at most the entry
+        // plus two callees, each as small as a function can be.
+        assert!(shrunk.funcs.len() <= 3, "{} funcs", shrunk.funcs.len());
+        assert!(
+            shrunk.instr_count() <= 10,
+            "{} instrs",
+            shrunk.instr_count()
+        );
+    }
+
+    #[test]
+    fn non_reproducing_predicate_returns_original() {
+        let original = generate(&FuzzProfile::Tiny.params(), 3);
+        let shrunk = shrink(&original, &mut |_| false, 100);
+        assert_eq!(shrunk, original);
+    }
+
+    #[test]
+    fn trial_budget_is_respected() {
+        let original = generate(&FuzzProfile::Mixed.params(), 9);
+        let mut calls = 0usize;
+        let _ = shrink(
+            &original,
+            &mut |_| {
+                calls += 1;
+                true
+            },
+            7,
+        );
+        assert!(calls <= 7, "{calls} predicate calls");
+    }
+
+    #[test]
+    fn function_removal_remaps_calls() {
+        // entry calls f1 and f2; removing f1 must remap the f2 call.
+        let leaf = CfgFunction {
+            blocks: vec![CfgBlock {
+                body: vec![],
+                term: Terminator::Return,
+            }],
+        };
+        let p = CfgProgram {
+            funcs: vec![
+                CfgFunction {
+                    blocks: vec![
+                        CfgBlock {
+                            body: vec![],
+                            term: Terminator::Call { func: 2 },
+                        },
+                        CfgBlock {
+                            body: vec![],
+                            term: Terminator::Jump { block: 0 },
+                        },
+                    ],
+                },
+                leaf.clone(),
+                leaf,
+            ],
+        };
+        let next = remove_function(&p, 1);
+        assert!(next.validate().is_ok());
+        assert_eq!(next.funcs[0].blocks[0].term, Terminator::Call { func: 1 });
+    }
+
+    #[test]
+    fn block_removal_remaps_edges() {
+        let p = CfgProgram {
+            funcs: vec![CfgFunction {
+                blocks: vec![
+                    CfgBlock {
+                        body: vec![],
+                        term: Terminator::FallThrough,
+                    },
+                    CfgBlock {
+                        body: vec![],
+                        term: Terminator::FallThrough,
+                    },
+                    CfgBlock {
+                        body: vec![],
+                        term: Terminator::Jump { block: 1 },
+                    },
+                ],
+            }],
+        };
+        let next = remove_block(&p, 0, 1);
+        assert!(next.validate().is_ok());
+        // The jump followed its target's new index.
+        assert_eq!(next.funcs[0].blocks[1].term, Terminator::Jump { block: 1 });
+    }
+}

@@ -14,6 +14,7 @@ pub(super) fn run(runner: &Runner) -> Report {
         PrefetcherKind::None,
         PrefetcherKind::NextLine,
         PrefetcherKind::FnlMma,
+        PrefetcherKind::Rdip,
         PrefetcherKind::Djolt,
         PrefetcherKind::Eip128,
         PrefetcherKind::Perfect,

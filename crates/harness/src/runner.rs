@@ -29,9 +29,16 @@ pub fn geomean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
+/// One suite entry: a built program plus the labels it reports under.
+struct SuiteEntry {
+    name: String,
+    family: String,
+    program: Arc<Program>,
+}
+
 /// The evaluation driver: a built workload suite plus run lengths.
 pub struct Runner {
-    workloads: Vec<(Workload, Arc<Program>)>,
+    workloads: Vec<SuiteEntry>,
     warmup: u64,
     measure: u64,
     suite_name: String,
@@ -51,13 +58,33 @@ impl Runner {
     pub fn new(workloads: Vec<Workload>, warmup: u64, measure: u64) -> Self {
         let built = workloads
             .into_iter()
-            .map(|w| {
-                let p = Arc::new(w.build());
-                (w, p)
+            .map(|w| SuiteEntry {
+                name: w.name.clone(),
+                family: w.family.to_string(),
+                program: Arc::new(w.build()),
             })
             .collect();
+        Runner::from_entries(built, warmup, measure)
+    }
+
+    /// Builds a runner over already-built programs (the fuzz harness'
+    /// entry point: its programs come from a generator, not the named
+    /// workload families). Results report under family `generated`.
+    pub fn from_programs(programs: Vec<(String, Arc<Program>)>, warmup: u64, measure: u64) -> Self {
+        let entries = programs
+            .into_iter()
+            .map(|(name, program)| SuiteEntry {
+                name,
+                family: "generated".to_string(),
+                program,
+            })
+            .collect();
+        Runner::from_entries(entries, warmup, measure).with_suite_name("generated")
+    }
+
+    fn from_entries(workloads: Vec<SuiteEntry>, warmup: u64, measure: u64) -> Self {
         Runner {
-            workloads: built,
+            workloads,
             warmup,
             measure,
             suite_name: "custom".to_string(),
@@ -170,10 +197,7 @@ impl Runner {
 
     /// Workload names, in run order.
     pub fn names(&self) -> Vec<&str> {
-        self.workloads
-            .iter()
-            .map(|(w, _)| w.name.as_str())
-            .collect()
+        self.workloads.iter().map(|e| e.name.as_str()).collect()
     }
 
     /// Number of workloads.
@@ -225,9 +249,9 @@ impl Runner {
         let (warmup, measure) = (self.warmup, self.measure);
         let mut jobs = Vec::with_capacity(cfgs.len() * self.workloads.len());
         for cfg in cfgs {
-            for (_, program) in &self.workloads {
+            for entry in &self.workloads {
                 let cfg = cfg.clone();
-                let program = Arc::clone(program);
+                let program = Arc::clone(&entry.program);
                 jobs.push(move || run_workload_job(cfg, program, warmup, measure));
             }
         }
@@ -247,9 +271,9 @@ impl Runner {
             .workloads
             .iter()
             .zip(results)
-            .map(|((w, _), (stats, dists))| WorkloadResult {
-                name: w.name.clone(),
-                family: w.family.to_string(),
+            .map(|(entry, (stats, dists))| WorkloadResult {
+                name: entry.name.clone(),
+                family: entry.family.clone(),
                 stats,
                 dists,
             })
@@ -333,6 +357,28 @@ mod tests {
         assert_eq!(stats.len(), 3);
         for s in &stats {
             assert!(s.retired >= 8_000 - 8);
+        }
+    }
+
+    #[test]
+    fn from_programs_matches_workload_runner() {
+        // A runner built from pre-built programs must simulate exactly
+        // what the workload-built runner simulates.
+        let by_workload = Runner::quick(1_000, 5_000);
+        let programs = workload::quick_suite()
+            .into_iter()
+            .map(|w| (w.name.clone(), Arc::new(w.build())))
+            .collect();
+        let by_program = Runner::from_programs(programs, 1_000, 5_000);
+        assert_eq!(by_program.names(), by_workload.names());
+        assert_eq!(by_program.suite_name(), "generated");
+        assert_eq!(
+            by_program.run_config(&CoreConfig::fdp()),
+            by_workload.run_config(&CoreConfig::fdp())
+        );
+        let suite = by_program.run_suite(&CoreConfig::fdp(), "test-run");
+        for w in &suite.workloads {
+            assert_eq!(w.family, "generated");
         }
     }
 

@@ -1,0 +1,619 @@
+//! Explicit CFG-level program construction with **typed validation
+//! errors** — the generation seam the workload fuzzer drives.
+//!
+//! [`ProgramBuilder`](crate::ProgramBuilder) generates well-formed
+//! programs by construction and panics on bad parameters; external
+//! generators (the `fdip-fuzz` CFG fuzzer, a future assembler frontend)
+//! need the opposite contract: accept an arbitrary function/block/edge
+//! description and *reject* malformed shapes with a typed
+//! [`CfgError`] instead of panicking, so rejection paths themselves can
+//! be tested and fuzzed.
+//!
+//! A [`CfgProgram`] is a list of functions; each [`CfgFunction`] is a
+//! list of basic blocks; each [`CfgBlock`] carries its non-terminator
+//! body and one [`Terminator`]. [`CfgProgram::emit`] validates the
+//! whole description, then lays the blocks out contiguously and
+//! assembles a [`Program`]. Function 0, block 0 is the entry.
+//!
+//! # Examples
+//!
+//! ```
+//! use fdip_program::cfg::{CfgBlock, CfgFunction, CfgProgram, Terminator};
+//! use fdip_program::BranchBehavior;
+//! use fdip_types::OpClass;
+//!
+//! // One function: a two-iteration loop body, then spin on block 0.
+//! let program = CfgProgram {
+//!     funcs: vec![CfgFunction {
+//!         blocks: vec![
+//!             CfgBlock {
+//!                 body: vec![OpClass::Alu, OpClass::Load],
+//!                 term: Terminator::Cond {
+//!                     block: 0,
+//!                     behavior: BranchBehavior::Loop { trip: 2 },
+//!                 },
+//!             },
+//!             CfgBlock {
+//!                 body: vec![OpClass::Alu],
+//!                 term: Terminator::Jump { block: 0 },
+//!             },
+//!         ],
+//!     }],
+//! }
+//! .emit("loop2")
+//! .unwrap();
+//! assert_eq!(program.image().len(), 5);
+//! ```
+
+use crate::behavior::{BranchBehavior, IndirectSelect};
+use crate::image::{CodeImage, Program};
+use std::fmt;
+
+use fdip_types::{Addr, BranchKind, OpClass, StaticInstr};
+
+/// Base virtual address at which CFG-emitted code is laid out (the same
+/// base the stochastic [`ProgramBuilder`](crate::ProgramBuilder) uses).
+pub const CFG_CODE_BASE: u64 = 0x0010_0000;
+
+/// How a basic block ends.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Terminator {
+    /// No control transfer: execution continues into the next block of
+    /// the same function. Invalid in a function's final block.
+    FallThrough,
+    /// Unconditional direct jump to a block of the same function.
+    Jump {
+        /// Target block index within this function.
+        block: usize,
+    },
+    /// Conditional direct branch: taken to `block`, otherwise falls
+    /// through into the next block. Invalid in a function's final block
+    /// (the not-taken path would run off the function).
+    Cond {
+        /// Taken-path target block index within this function.
+        block: usize,
+        /// Direction behaviour (must not be
+        /// [`BranchBehavior::Indirect`]).
+        behavior: BranchBehavior,
+    },
+    /// Direct call to another function's entry block; execution resumes
+    /// in the next block after the callee returns. Invalid in a final
+    /// block.
+    Call {
+        /// Callee function index.
+        func: usize,
+    },
+    /// Register-indirect call choosing among several callees. Invalid
+    /// in a final block.
+    IndirectCall {
+        /// Candidate callee function indices (non-empty).
+        funcs: Vec<usize>,
+        /// Target-selection policy.
+        select: IndirectSelect,
+    },
+    /// Register-indirect jump choosing among blocks of this function.
+    IndirectJump {
+        /// Candidate target block indices (non-empty).
+        blocks: Vec<usize>,
+        /// Target-selection policy.
+        select: IndirectSelect,
+    },
+    /// Function return (to the caller's next block).
+    Return,
+}
+
+impl Terminator {
+    /// Returns `true` if control never falls past this terminator into
+    /// the following block — the only terminators valid in a function's
+    /// final block.
+    pub fn closes_function(&self) -> bool {
+        matches!(
+            self,
+            Terminator::Jump { .. } | Terminator::IndirectJump { .. } | Terminator::Return
+        )
+    }
+}
+
+/// One basic block: straight-line body instructions plus a terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CfgBlock {
+    /// Non-terminator instructions, in order (may be empty).
+    pub body: Vec<OpClass>,
+    /// How the block ends.
+    pub term: Terminator,
+}
+
+/// One function: a non-empty list of basic blocks; block 0 is the
+/// function entry.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CfgFunction {
+    /// Basic blocks in layout order.
+    pub blocks: Vec<CfgBlock>,
+}
+
+/// A whole program at CFG level. Function 0, block 0 is the program
+/// entry.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CfgProgram {
+    /// Functions in layout order (non-empty; function 0 is the entry).
+    pub funcs: Vec<CfgFunction>,
+}
+
+/// Why a [`CfgProgram`] was rejected by [`CfgProgram::emit`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CfgError {
+    /// The program has no functions.
+    NoFunctions,
+    /// A function has no blocks.
+    EmptyFunction {
+        /// Offending function index.
+        func: usize,
+    },
+    /// A function's final block can fall off the end of the function
+    /// ([`Terminator::FallThrough`], [`Terminator::Cond`],
+    /// [`Terminator::Call`], or [`Terminator::IndirectCall`] in last
+    /// position).
+    UnterminatedBlock {
+        /// Function index.
+        func: usize,
+        /// Block index (always the function's last block).
+        block: usize,
+    },
+    /// A block or function index in a terminator is out of range.
+    OutOfRangeTarget {
+        /// Function holding the bad terminator.
+        func: usize,
+        /// Block holding the bad terminator.
+        block: usize,
+        /// The out-of-range index as written.
+        target: usize,
+        /// `true` when `target` indexed the function table, `false`
+        /// when it indexed this function's blocks.
+        is_func: bool,
+    },
+    /// An indirect terminator has an empty target list.
+    EmptyTargetList {
+        /// Function index.
+        func: usize,
+        /// Block index.
+        block: usize,
+    },
+    /// A [`Terminator::Cond`] carries an indirect (target-selection)
+    /// behaviour instead of a direction behaviour.
+    DirectionBehaviorExpected {
+        /// Function index.
+        func: usize,
+        /// Block index.
+        block: usize,
+    },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::NoFunctions => write!(f, "program has no functions"),
+            CfgError::EmptyFunction { func } => write!(f, "function {func} has no blocks"),
+            CfgError::UnterminatedBlock { func, block } => write!(
+                f,
+                "function {func} block {block} is unterminated: control can fall off \
+                 the end of the function"
+            ),
+            CfgError::OutOfRangeTarget {
+                func,
+                block,
+                target,
+                is_func,
+            } => {
+                let kind = if *is_func { "function" } else { "block" };
+                write!(
+                    f,
+                    "function {func} block {block}: {kind} target {target} is out of range"
+                )
+            }
+            CfgError::EmptyTargetList { func, block } => write!(
+                f,
+                "function {func} block {block}: indirect terminator with no targets"
+            ),
+            CfgError::DirectionBehaviorExpected { func, block } => write!(
+                f,
+                "function {func} block {block}: conditional branch carries an indirect \
+                 behaviour"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+impl CfgProgram {
+    /// Validates the description without emitting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CfgError`] in `(func, block)` order.
+    pub fn validate(&self) -> Result<(), CfgError> {
+        if self.funcs.is_empty() {
+            return Err(CfgError::NoFunctions);
+        }
+        for (fi, func) in self.funcs.iter().enumerate() {
+            if func.blocks.is_empty() {
+                return Err(CfgError::EmptyFunction { func: fi });
+            }
+            let nblocks = func.blocks.len();
+            for (bi, block) in func.blocks.iter().enumerate() {
+                let last = bi + 1 == nblocks;
+                if last && !block.term.closes_function() {
+                    return Err(CfgError::UnterminatedBlock {
+                        func: fi,
+                        block: bi,
+                    });
+                }
+                let bad_block = |target: usize| CfgError::OutOfRangeTarget {
+                    func: fi,
+                    block: bi,
+                    target,
+                    is_func: false,
+                };
+                let bad_func = |target: usize| CfgError::OutOfRangeTarget {
+                    func: fi,
+                    block: bi,
+                    target,
+                    is_func: true,
+                };
+                match &block.term {
+                    Terminator::FallThrough | Terminator::Return => {}
+                    Terminator::Jump { block: t } => {
+                        if *t >= nblocks {
+                            return Err(bad_block(*t));
+                        }
+                    }
+                    Terminator::Cond { block: t, behavior } => {
+                        if *t >= nblocks {
+                            return Err(bad_block(*t));
+                        }
+                        if behavior.is_indirect() {
+                            return Err(CfgError::DirectionBehaviorExpected {
+                                func: fi,
+                                block: bi,
+                            });
+                        }
+                    }
+                    Terminator::Call { func: t } => {
+                        if *t >= self.funcs.len() {
+                            return Err(bad_func(*t));
+                        }
+                    }
+                    Terminator::IndirectCall { funcs, .. } => {
+                        if funcs.is_empty() {
+                            return Err(CfgError::EmptyTargetList {
+                                func: fi,
+                                block: bi,
+                            });
+                        }
+                        if let Some(&t) = funcs.iter().find(|&&t| t >= self.funcs.len()) {
+                            return Err(bad_func(t));
+                        }
+                    }
+                    Terminator::IndirectJump { blocks, .. } => {
+                        if blocks.is_empty() {
+                            return Err(CfgError::EmptyTargetList {
+                                func: fi,
+                                block: bi,
+                            });
+                        }
+                        if let Some(&t) = blocks.iter().find(|&&t| t >= nblocks) {
+                            return Err(bad_block(t));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates, lays the functions out contiguously from
+    /// [`CFG_CODE_BASE`], and assembles a [`Program`] named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CfgError`] the description violates; on
+    /// success the emitted program is structurally valid (all direct
+    /// targets mapped, every indirect branch has in-image targets).
+    pub fn emit(&self, name: &str) -> Result<Program, CfgError> {
+        self.validate()?;
+
+        // Pass 1: layout. Every block occupies body.len() instructions
+        // plus one terminator slot (FallThrough terminators become plain
+        // ops, like the stochastic builder's fallthrough blocks).
+        let mut func_starts = Vec::with_capacity(self.funcs.len());
+        let mut block_starts: Vec<Vec<usize>> = Vec::with_capacity(self.funcs.len());
+        let mut cursor = 0usize;
+        for func in &self.funcs {
+            func_starts.push(cursor);
+            let mut starts = Vec::with_capacity(func.blocks.len());
+            for block in &func.blocks {
+                starts.push(cursor);
+                cursor += block.body.len() + 1;
+            }
+            block_starts.push(starts);
+        }
+        let base = Addr::new(CFG_CODE_BASE);
+        let addr_of = |idx: usize| base + idx as u64 * fdip_types::INSTR_BYTES;
+
+        // Pass 2: fill instructions and behaviours.
+        let mut instrs = vec![StaticInstr::NOP; cursor];
+        let mut behaviors: Vec<Option<BranchBehavior>> = vec![None; cursor];
+        for (fi, func) in self.funcs.iter().enumerate() {
+            for (bi, block) in func.blocks.iter().enumerate() {
+                let start = block_starts[fi][bi];
+                for (i, &op) in block.body.iter().enumerate() {
+                    instrs[start + i] = StaticInstr::op(op);
+                }
+                let term = start + block.body.len();
+                let (instr, behavior) = match &block.term {
+                    Terminator::FallThrough => (StaticInstr::op(OpClass::Alu), None),
+                    Terminator::Jump { block: t } => (
+                        StaticInstr::branch(BranchKind::DirectJump, addr_of(block_starts[fi][*t])),
+                        None,
+                    ),
+                    Terminator::Cond { block: t, behavior } => (
+                        StaticInstr::branch(BranchKind::CondDirect, addr_of(block_starts[fi][*t])),
+                        Some(behavior.clone()),
+                    ),
+                    Terminator::Call { func: t } => (
+                        StaticInstr::branch(BranchKind::DirectCall, addr_of(func_starts[*t])),
+                        None,
+                    ),
+                    Terminator::IndirectCall { funcs, select } => (
+                        StaticInstr::branch(BranchKind::IndirectCall, Addr::NULL),
+                        Some(BranchBehavior::Indirect {
+                            targets: funcs.iter().map(|&t| addr_of(func_starts[t])).collect(),
+                            select: *select,
+                        }),
+                    ),
+                    Terminator::IndirectJump { blocks, select } => (
+                        StaticInstr::branch(BranchKind::IndirectJump, Addr::NULL),
+                        Some(BranchBehavior::Indirect {
+                            targets: blocks
+                                .iter()
+                                .map(|&t| addr_of(block_starts[fi][t]))
+                                .collect(),
+                            select: *select,
+                        }),
+                    ),
+                    Terminator::Return => {
+                        (StaticInstr::branch(BranchKind::Return, Addr::NULL), None)
+                    }
+                };
+                instrs[term] = instr;
+                behaviors[term] = behavior;
+            }
+        }
+
+        Ok(Program::new(
+            name,
+            CodeImage::new(base, instrs),
+            behaviors,
+            addr_of(0),
+        ))
+    }
+
+    /// Total instruction count the emitted image will have.
+    pub fn instr_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.body.len() + 1)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExecutionEngine;
+
+    fn leaf_fn() -> CfgFunction {
+        CfgFunction {
+            blocks: vec![CfgBlock {
+                body: vec![OpClass::Alu],
+                term: Terminator::Return,
+            }],
+        }
+    }
+
+    fn spinning_entry(extra: Vec<CfgBlock>) -> CfgFunction {
+        let mut blocks = extra;
+        blocks.push(CfgBlock {
+            body: vec![OpClass::Load],
+            term: Terminator::Jump { block: 0 },
+        });
+        CfgFunction { blocks }
+    }
+
+    #[test]
+    fn minimal_program_emits_and_runs() {
+        let p = CfgProgram {
+            funcs: vec![spinning_entry(vec![])],
+        }
+        .emit("spin")
+        .unwrap();
+        assert_eq!(p.image().len(), 2);
+        let stream: Vec<_> = ExecutionEngine::new(&p, 1).take(100).collect();
+        for w in stream.windows(2) {
+            assert_eq!(w[0].next_pc, w[1].pc);
+        }
+    }
+
+    #[test]
+    fn calls_lay_out_across_functions() {
+        let p = CfgProgram {
+            funcs: vec![
+                spinning_entry(vec![CfgBlock {
+                    body: vec![],
+                    term: Terminator::Call { func: 1 },
+                }]),
+                leaf_fn(),
+            ],
+        }
+        .emit("call")
+        .unwrap();
+        // Entry call block (1 instr) + spin block (2) + leaf (2).
+        assert_eq!(p.image().len(), 5);
+        // The call targets the leaf's entry (slot 3).
+        let call = p.image().instr_at(p.image().addr_of(0));
+        assert_eq!(call.kind.static_target(), Some(p.image().addr_of(3)));
+    }
+
+    #[test]
+    fn rejects_unterminated_final_block() {
+        for term in [
+            Terminator::FallThrough,
+            Terminator::Call { func: 0 },
+            Terminator::Cond {
+                block: 0,
+                behavior: BranchBehavior::Bias { p_taken: 0.5 },
+            },
+        ] {
+            let err = CfgProgram {
+                funcs: vec![CfgFunction {
+                    blocks: vec![CfgBlock {
+                        body: vec![OpClass::Alu],
+                        term,
+                    }],
+                }],
+            }
+            .emit("bad")
+            .unwrap_err();
+            assert_eq!(err, CfgError::UnterminatedBlock { func: 0, block: 0 });
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_block_target() {
+        let err = CfgProgram {
+            funcs: vec![spinning_entry(vec![CfgBlock {
+                body: vec![],
+                term: Terminator::Cond {
+                    block: 7,
+                    behavior: BranchBehavior::Bias { p_taken: 0.5 },
+                },
+            }])],
+        }
+        .emit("bad")
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CfgError::OutOfRangeTarget {
+                func: 0,
+                block: 0,
+                target: 7,
+                is_func: false
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_callee() {
+        let err = CfgProgram {
+            funcs: vec![spinning_entry(vec![CfgBlock {
+                body: vec![],
+                term: Terminator::Call { func: 3 },
+            }])],
+        }
+        .emit("bad")
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CfgError::OutOfRangeTarget {
+                func: 0,
+                block: 0,
+                target: 3,
+                is_func: true
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_empty_indirect_target_list() {
+        let err = CfgProgram {
+            funcs: vec![spinning_entry(vec![CfgBlock {
+                body: vec![],
+                term: Terminator::IndirectCall {
+                    funcs: vec![],
+                    select: IndirectSelect::RoundRobin,
+                },
+            }])],
+        }
+        .emit("bad")
+        .unwrap_err();
+        assert_eq!(err, CfgError::EmptyTargetList { func: 0, block: 0 });
+    }
+
+    #[test]
+    fn rejects_indirect_behavior_on_conditional() {
+        let err = CfgProgram {
+            funcs: vec![spinning_entry(vec![CfgBlock {
+                body: vec![],
+                term: Terminator::Cond {
+                    block: 1,
+                    behavior: BranchBehavior::Indirect {
+                        targets: vec![Addr::new(0x10)],
+                        select: IndirectSelect::RoundRobin,
+                    },
+                },
+            }])],
+        }
+        .emit("bad")
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CfgError::DirectionBehaviorExpected { func: 0, block: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_empty_shapes() {
+        assert_eq!(
+            CfgProgram { funcs: vec![] }.emit("bad").unwrap_err(),
+            CfgError::NoFunctions
+        );
+        assert_eq!(
+            CfgProgram {
+                funcs: vec![CfgFunction { blocks: vec![] }],
+            }
+            .emit("bad")
+            .unwrap_err(),
+            CfgError::EmptyFunction { func: 0 }
+        );
+    }
+
+    #[test]
+    fn errors_display_a_location() {
+        let e = CfgError::OutOfRangeTarget {
+            func: 2,
+            block: 3,
+            target: 9,
+            is_func: false,
+        };
+        let s = e.to_string();
+        assert!(s.contains("function 2"), "{s}");
+        assert!(s.contains("block 3"), "{s}");
+        assert!(s.contains('9'), "{s}");
+    }
+
+    #[test]
+    fn instr_count_matches_emitted_image() {
+        let cfg = CfgProgram {
+            funcs: vec![
+                spinning_entry(vec![CfgBlock {
+                    body: vec![OpClass::Alu, OpClass::Store],
+                    term: Terminator::Call { func: 1 },
+                }]),
+                leaf_fn(),
+            ],
+        };
+        let p = cfg.emit("n").unwrap();
+        assert_eq!(cfg.instr_count(), p.image().len());
+    }
+}

@@ -32,11 +32,15 @@
 
 mod behavior;
 mod builder;
+pub mod cfg;
+pub mod codec;
 mod engine;
 mod image;
 pub mod workload;
 
 pub use behavior::{BranchBehavior, IndirectSelect};
 pub use builder::{ProgramBuilder, ProgramParams};
+pub use cfg::{CfgBlock, CfgError, CfgFunction, CfgProgram, Terminator};
+pub use codec::{program_from_json, program_to_json, CodecError};
 pub use engine::ExecutionEngine;
 pub use image::{CodeImage, Program};

@@ -96,6 +96,31 @@ grep -q '"cache_hits"' "$tmp/serve-telemetry.json"
 wait "$serve_pid"
 echo "    served results byte-identical to local; daemon drained"
 
+echo "==> fuzz smoke: differential invariants, report determinism, injection"
+# The fuzz gate (docs/FUZZ.md): a fixed-seed campaign must pass every
+# invariant on every generated program, its Document 7 report must be
+# byte-identical across worker counts (the report is clock- and
+# host-free by construction), and a deliberately injected invariant
+# break must be caught, exit nonzero, and shrink to a replayable case.
+for jobs in 2 3; do
+  ./target/release/fdip-fuzz run --seed 7 --count 64 --jobs "$jobs" \
+    --json "$tmp/fuzz-j$jobs.json" 2> /dev/null
+done
+diff -u "$tmp/fuzz-j2.json" "$tmp/fuzz-j3.json"
+grep -q '"failures": 0' "$tmp/fuzz-j2.json"
+grep -q '"tool": "fdip-fuzz"' "$tmp/fuzz-j2.json"
+if ./target/release/fdip-fuzz run --seed 7 --count 2 --profile tiny \
+    --inject stall-leak --cases "$tmp/fuzz-cases" \
+    --json "$tmp/fuzz-inj.json" 2> /dev/null; then
+  echo "injected fuzz run unexpectedly passed" >&2
+  exit 1
+fi
+grep -q '"failures": 2' "$tmp/fuzz-inj.json"
+case_file="$(ls "$tmp"/fuzz-cases/*.json | head -n 1)"
+test -s "$case_file"
+./target/release/fdip-fuzz replay "$case_file" 2> /dev/null
+echo "    64-program campaign clean; report jobs-identical; injection caught and shrunk"
+
 echo "==> bench smoke: fdip-bench emits a valid document"
 ./target/release/fdip-bench --instrs 2000 --iters 1 --json "$tmp/bench.json" \
   > /dev/null

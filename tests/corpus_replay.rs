@@ -1,0 +1,64 @@
+//! Corpus regression: every committed fuzz case under `tests/corpus/`
+//! must decode, replay against the full differential config matrix, and
+//! hold every invariant (stall partition, outcome ledger, retire bound,
+//! worker-count byte-identity, repeated-run byte-stability).
+//!
+//! The corpus is regenerated with
+//! `fdip-fuzz corpus --seed 1 --count 24 --out tests/corpus`; entries
+//! are shrunk for compactness but preserve their generator profile's
+//! terminator mix, so the suite keeps exercising every control-flow
+//! family the fuzzer can emit.
+
+use fdip_fuzz::{CaseFile, Inject, MatrixOptions};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_present_and_diverse() {
+    let files = corpus_files();
+    assert!(files.len() >= 20, "only {} corpus cases", files.len());
+    for profile in ["tiny", "small", "mixed", "large"] {
+        assert!(
+            files
+                .iter()
+                .any(|p| p.file_name().unwrap().to_str().unwrap().contains(profile)),
+            "no {profile} case in the corpus"
+        );
+    }
+}
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    let opts = MatrixOptions {
+        warmup: 300,
+        measure: 1_000,
+        jobs: 4,
+        inject: Inject::None,
+    };
+    for path in corpus_files() {
+        let case = CaseFile::read(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(case.inject, "none", "{}", path.display());
+        assert!(case.violations.is_empty(), "{}", path.display());
+        let out = case.replay(&opts);
+        assert!(
+            out.violations.is_empty(),
+            "{}: {:?}",
+            path.display(),
+            out.violations
+        );
+        assert_eq!(out.sims, 20, "{}", path.display());
+    }
+}

@@ -103,6 +103,23 @@ fn fig9_reports_all_four_metrics_per_config() {
 }
 
 #[test]
+fn fig1_includes_the_rdip_competitor() {
+    let r = tiny_runner();
+    let rep = (experiments::by_id("fig1").unwrap().run)(&r);
+    // RDIP (the D-JOLT predecessor) rides the limit-study grid with
+    // both FTQ depths...
+    assert!(rep.get("RDIP_nofdp_pct").is_some());
+    assert!(rep.get("RDIP_fdp_pct").is_some());
+    assert!(rep.tables[0].rows.iter().any(|row| row[0] == "RDIP"));
+    // ...and the column survives into the machine-readable results
+    // document (reports carry no volatile fields, so the serialized
+    // form *is* the stripped form).
+    let json = fdip_telemetry::ToJson::to_json(&rep).to_string();
+    assert!(json.contains("\"RDIP_fdp_pct\""), "{json}");
+    assert!(json.contains("\"RDIP_nofdp_pct\""), "{json}");
+}
+
+#[test]
 fn reports_render_to_text() {
     let r = tiny_runner();
     let rep = (experiments::by_id("tab3").unwrap().run)(&r);
