@@ -86,6 +86,10 @@ const RESULT_CRATES: &[&str] = &[
     "crates/types/src/",
     "crates/serve/src/",
     "crates/fuzz/src/",
+    // The observability plane never touches results, but it runs inside
+    // the daemon process; covering it confines every wall-clock read to
+    // its allowlisted `clock` module.
+    "crates/obs/src/",
 ];
 
 /// Files allowed to document their emitted keys in `docs/SERVE.md`
@@ -592,5 +596,13 @@ mod tests {
         let hits = run_pass("determinism", "crates/serve/src/telemetry.rs", code, "");
         assert_eq!(hits.len(), 2);
         assert!(hits.iter().all(|f| f.needle == "Instant"));
+    }
+
+    #[test]
+    fn determinism_covers_the_obs_crate() {
+        let code = "use std::time::SystemTime;\nfn f() { let t = SystemTime::now(); }";
+        let hits = run_pass("determinism", "crates/obs/src/log.rs", code, "");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|f| f.needle == "SystemTime"));
     }
 }

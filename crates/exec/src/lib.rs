@@ -70,6 +70,9 @@ struct Counters {
     busy_ns: AtomicU64,
     busy_now: AtomicUsize,
     peak_busy: AtomicUsize,
+    /// Jobs taken from a sibling's stripe rather than our own or the
+    /// injector — the load-balancing pressure gauge.
+    steals: AtomicU64,
 }
 
 /// Everything workers and submitters share.
@@ -80,6 +83,9 @@ struct Shared {
     /// sub-jobs stay cache-hot) and steals FIFO from siblings.
     stripes: Vec<Mutex<VecDeque<Job>>>,
     counters: Counters,
+    /// Jobs executed by each worker (indexed like `stripes`); sums to
+    /// `counters.jobs_completed` when the pool is quiescent.
+    worker_jobs: Vec<AtomicU64>,
     /// Injector depth observed at each job submission.
     queue_depth: Mutex<Histogram>,
 }
@@ -103,6 +109,8 @@ impl Shared {
             let victim = (id + k) % n;
             if let Some(job) = lock(&self.stripes[victim]).pop_front() {
                 lock(&self.state).pending -= 1;
+                // Advisory tally like busy_now (allowlisted Relaxed).
+                self.counters.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -135,10 +143,13 @@ impl Shared {
     /// and completion counters are recorded by the batch wrapper itself
     /// (before it signals batch completion, so a submitter that returns
     /// from `run_batch` always observes its jobs in the stats).
-    fn execute(&self, job: Job) {
-        // busy_now/peak_busy are advisory occupancy gauges: no reader
-        // derives a happens-before edge from them, so Relaxed is sound
-        // (allowlisted in lint-allow.txt).
+    fn execute(&self, id: usize, job: Job) {
+        // busy_now/peak_busy/worker_jobs are advisory occupancy gauges:
+        // no reader derives a happens-before edge from them, so Relaxed
+        // is sound (allowlisted in lint-allow.txt). worker_jobs counts
+        // before the job runs, so the batch wrapper's Release increment
+        // of jobs_completed orders it for any Acquire reader.
+        self.worker_jobs[id].fetch_add(1, Ordering::Relaxed);
         let busy = self.counters.busy_now.fetch_add(1, Ordering::Relaxed) + 1;
         self.counters.peak_busy.fetch_max(busy, Ordering::Relaxed);
         job();
@@ -218,6 +229,7 @@ impl Pool {
             work_cv: Condvar::new(),
             stripes: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             counters: Counters::default(),
+            worker_jobs: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             queue_depth: Mutex::new(Histogram::new()),
         });
         let workers = (0..threads)
@@ -228,7 +240,7 @@ impl Pool {
                     .spawn(move || {
                         WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, id))));
                         while let Some(job) = shared.take(id) {
-                            shared.execute(job);
+                            shared.execute(id, job);
                         }
                     })
                     .expect("spawn pool worker")
@@ -357,7 +369,7 @@ impl Pool {
                 }
                 let id = me.expect("helping implies worker").1;
                 if let Some(job) = self.shared.try_take(id) {
-                    self.shared.execute(job);
+                    self.shared.execute(id, job);
                     continue;
                 }
             }
@@ -397,8 +409,15 @@ impl Pool {
         PoolStats {
             workers: self.threads(),
             jobs_completed: jobs,
-            // Advisory gauge; see `execute` (allowlisted).
+            // Advisory gauges; see `execute`/`try_take` (allowlisted).
             peak_busy: self.shared.counters.peak_busy.load(Ordering::Relaxed),
+            steals: self.shared.counters.steals.load(Ordering::Relaxed),
+            worker_jobs: self
+                .shared
+                .worker_jobs
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
             busy_fraction: (busy_s / (elapsed * self.threads() as f64)).min(1.0),
             jobs_per_sec: jobs as f64 / elapsed,
             queue_depth: lock(&self.shared.queue_depth).clone(),
@@ -430,6 +449,13 @@ pub struct PoolStats {
     pub jobs_completed: u64,
     /// Maximum number of workers simultaneously executing jobs.
     pub peak_busy: usize,
+    /// Jobs taken from a sibling worker's stripe (scheduling-dependent,
+    /// stripped alongside the wall-time fields).
+    pub steals: u64,
+    /// Jobs executed by each worker, indexed by worker id; sums to
+    /// `jobs_completed` when the pool is quiescent
+    /// (scheduling-dependent, stripped alongside the wall-time fields).
+    pub worker_jobs: Vec<u64>,
     /// Fraction of `workers × elapsed` spent executing jobs, in `[0, 1]`.
     pub busy_fraction: f64,
     /// Jobs finished per wall-clock second of pool lifetime.
@@ -439,13 +465,16 @@ pub struct PoolStats {
 }
 
 impl ToJson for PoolStats {
-    /// Serializes as `{workers, jobs_completed, peak_busy, busy_fraction,
-    /// jobs_per_sec, queue_depth}` (histogram in the standard form).
+    /// Serializes as `{workers, jobs_completed, peak_busy, steals,
+    /// worker_jobs, busy_fraction, jobs_per_sec, queue_depth}`
+    /// (histogram in the standard form).
     fn to_json(&self) -> Json {
         Json::obj()
             .with("workers", self.workers)
             .with("jobs_completed", self.jobs_completed)
             .with("peak_busy", self.peak_busy)
+            .with("steals", self.steals)
+            .with("worker_jobs", self.worker_jobs.clone())
             .with("busy_fraction", self.busy_fraction)
             .with("jobs_per_sec", self.jobs_per_sec)
             .with("queue_depth", self.queue_depth.to_json())
@@ -662,11 +691,19 @@ mod tests {
         assert_eq!(s.queue_depth.count(), 10);
         assert!(s.jobs_per_sec > 0.0);
         assert!((0.0..=1.0).contains(&s.busy_fraction));
+        assert_eq!(s.worker_jobs.len(), 2);
+        assert_eq!(
+            s.worker_jobs.iter().sum::<u64>(),
+            s.jobs_completed,
+            "per-worker tallies must sum to the total"
+        );
         let j = s.to_json();
         for key in [
             "workers",
             "jobs_completed",
             "peak_busy",
+            "steals",
+            "worker_jobs",
             "busy_fraction",
             "jobs_per_sec",
             "queue_depth",

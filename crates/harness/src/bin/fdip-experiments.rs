@@ -26,6 +26,9 @@ use std::io::Write;
 use std::time::Instant;
 
 fn main() {
+    // CLI runs mirror structured log records (e.g. the remote-fallback
+    // warning) to stderr; in-process library users keep it quiet.
+    fdip_obs::log::logger().set_stderr(true);
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path = std::env::var("FDIP_JSON").ok().filter(|p| !p.is_empty());
     if let Some(i) = args.iter().position(|a| a == "--json") {

@@ -108,6 +108,9 @@ fn emit_json(suite: &SuiteResult, path: &str) {
 }
 
 fn main() {
+    // CLI runs mirror structured log records (e.g. the remote-fallback
+    // warning) to stderr; in-process library users keep it quiet.
+    fdip_obs::log::logger().set_stderr(true);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut name: Option<String> = None;
     let mut suite_arg: Option<String> = None;

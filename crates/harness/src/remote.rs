@@ -32,6 +32,10 @@ pub const PROGRESS_PATH: &str = "/v1/progress";
 pub const TELEMETRY_PATH: &str = "/v1/telemetry";
 /// Wire path of the graceful-drain endpoint.
 pub const SHUTDOWN_PATH: &str = "/v1/shutdown";
+/// Wire path of the Prometheus text exposition endpoint.
+pub const METRICS_PATH: &str = "/v1/metrics";
+/// Wire path of the structured-log ring endpoint.
+pub const LOGS_PATH: &str = "/v1/logs";
 
 /// FNV-1a 64-bit hash — the content-address hash for configs, workload
 /// parameters, and cell keys. Chosen because it is tiny, dependency-free,
@@ -331,6 +335,20 @@ pub fn http_json_request(
     path: &str,
     body: Option<&Json>,
 ) -> io::Result<(u16, Json)> {
+    let (status, text) = http_text_request(addr, method, path, body)?;
+    let json = Json::parse(&text).map_err(|e| io::Error::other(format!("bad json body: {e}")))?;
+    Ok((status, json))
+}
+
+/// Like [`http_json_request`] but returns the raw body text — for
+/// endpoints whose responses are not JSON (`/v1/metrics` serves
+/// Prometheus text exposition).
+pub fn http_text_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> io::Result<(u16, String)> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(600)))?;
     stream.set_write_timeout(Some(Duration::from_secs(60)))?;
@@ -378,8 +396,7 @@ pub fn http_json_request(
         }
     };
     let text = String::from_utf8(body).map_err(|e| io::Error::other(format!("bad utf8: {e}")))?;
-    let json = Json::parse(&text).map_err(|e| io::Error::other(format!("bad json body: {e}")))?;
-    Ok((status, json))
+    Ok((status, text))
 }
 
 /// Extracts `error.code` from an error response body, for messages.
@@ -425,14 +442,34 @@ impl RemoteClient {
         cfgs: &[CoreConfig],
         workloads: usize,
     ) -> io::Result<Vec<Vec<(SimStats, SimDists)>>> {
+        // Client-side scrape surface: the process-wide registry, since a
+        // client outlives any single daemon connection.
+        let submitted = |outcome: &str| {
+            fdip_obs::metrics::global()
+                .counter_with(
+                    "fdip_client_grid_requests_total",
+                    "Grid submissions sent by this process, by HTTP-level outcome",
+                    &[("outcome", outcome)],
+                )
+                .inc();
+        };
         let request = grid_request(&self.client, suite, warmup, measure, cfgs);
-        let (status, body) = http_json_request(&self.addr, "POST", GRID_PATH, Some(&request))?;
+        let (status, body) = match http_json_request(&self.addr, "POST", GRID_PATH, Some(&request))
+        {
+            Ok(reply) => reply,
+            Err(e) => {
+                submitted("io_error");
+                return Err(e);
+            }
+        };
         if status != 200 {
+            submitted("http_error");
             return Err(io::Error::other(format!(
                 "grid request failed: HTTP {status} ({})",
                 error_code(&body)
             )));
         }
+        submitted("ok");
         let cells = body
             .get("cells")
             .and_then(Json::as_arr)
@@ -444,6 +481,21 @@ impl RemoteClient {
                 cells.len()
             )));
         }
+        fdip_obs::metrics::global()
+            .counter(
+                "fdip_client_cells_received_total",
+                "Grid cells received by this process from fdip-serve daemons",
+            )
+            .add(cells.len() as u64);
+        fdip_obs::log::debug(
+            "harness",
+            "grid served",
+            &[
+                ("addr", self.addr.as_str().into()),
+                ("suite", suite.into()),
+                ("cells", (cells.len() as u64).into()),
+            ],
+        );
         let mut parsed = Vec::with_capacity(cells.len());
         for cell in cells {
             let stats = cell

@@ -1,0 +1,526 @@
+//! An independent parser/validator for the Prometheus text exposition
+//! format emitted by [`crate::metrics::Registry::render`].
+//!
+//! Tests and `fdip-serve ctl metrics` parse every scrape with this
+//! module rather than trusting the renderer, so the two sides check
+//! each other: the renderer encodes one reading of the format spec,
+//! this parser encodes another, and a scrape is accepted only when
+//! both agree. Validation is strict where the spec is strict —
+//! `# TYPE` must precede samples, histogram `_bucket` series must be
+//! cumulative with a `+Inf` bucket equal to `_count` — and lenient
+//! where scrapers are lenient (unknown families default to `untyped`).
+
+use std::collections::BTreeMap;
+
+/// A parsed sample: `name{labels} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// The metric name as written (including `_bucket`/`_sum`/`_count`
+    /// suffixes on histogram series).
+    pub name: String,
+    /// Label pairs in the order written.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`NaN`/`+Inf`/`-Inf` are legal).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One metric family: its `# TYPE`, `# HELP`, and samples.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFamily {
+    /// `counter`, `gauge`, `histogram`, or `untyped` when no `# TYPE`
+    /// line was seen.
+    pub kind: String,
+    /// The `# HELP` text (empty if absent).
+    pub help: String,
+    /// Samples in scrape order (for histograms this includes the
+    /// `_bucket`/`_sum`/`_count` series).
+    pub samples: Vec<Sample>,
+}
+
+/// A fully parsed scrape, keyed by family name.
+#[derive(Clone, Debug, Default)]
+pub struct Scrape {
+    /// Families keyed by base name (histogram suffixes folded in).
+    pub families: BTreeMap<String, ParsedFamily>,
+}
+
+impl Scrape {
+    /// The total of a counter family, summed over its label sets.
+    /// `None` if the family is missing or not a counter.
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        let family = self.families.get(name)?;
+        if family.kind != "counter" {
+            return None;
+        }
+        let mut total = 0u64;
+        for s in &family.samples {
+            if s.value < 0.0 || s.value.fract() != 0.0 {
+                return None;
+            }
+            total += s.value as u64;
+        }
+        Some(total)
+    }
+
+    /// The value of a single-sample gauge family.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let family = self.families.get(name)?;
+        if family.kind != "gauge" || family.samples.len() != 1 {
+            return None;
+        }
+        Some(family.samples[0].value)
+    }
+
+    /// The `_count` of a histogram family (summed over label sets).
+    pub fn histogram_count(&self, name: &str) -> Option<u64> {
+        let family = self.families.get(name)?;
+        if family.kind != "histogram" {
+            return None;
+        }
+        let mut total = 0u64;
+        let mut seen = false;
+        for s in &family.samples {
+            if s.name == format!("{name}_count") {
+                seen = true;
+                total += s.value as u64;
+            }
+        }
+        seen.then_some(total)
+    }
+}
+
+/// A validation failure, with the 1-based line it was found on
+/// (0 for whole-scrape failures).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExpoError {
+    /// 1-based offending line, or 0 for cross-line failures.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ExpoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "exposition: {}", self.msg)
+        } else {
+            write!(f, "exposition line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ExpoError {
+    ExpoError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn is_name(name: &str, allow_colon: bool) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    let ok = |c: char, first: bool| {
+        c.is_ascii_alphabetic()
+            || c == '_'
+            || (allow_colon && c == ':')
+            || (!first && c.is_ascii_digit())
+    };
+    ok(first, true) && chars.all(|c| ok(c, false))
+}
+
+/// Strips a histogram suffix to find the base family name.
+fn base_name(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+fn parse_value(text: &str, line: usize) -> Result<f64, ExpoError> {
+    match text {
+        "NaN" => Ok(f64::NAN),
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| err(line, format!("unparseable value {other:?}"))),
+    }
+}
+
+/// Label pairs in the order written on a sample line.
+type Labels = Vec<(String, String)>;
+
+/// Parses `{k="v",…}` starting at the byte after `{`; returns the
+/// labels and the rest of the line after `}`.
+fn parse_labels(text: &str, line: usize) -> Result<(Labels, &str), ExpoError> {
+    let mut labels = Vec::new();
+    let mut rest = text.trim_start();
+    loop {
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| err(line, "label without '='"))?;
+        let key = rest[..eq].trim();
+        if !is_name(key, false) {
+            return Err(err(line, format!("invalid label name {key:?}")));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err(err(line, "label value must be quoted"));
+        }
+        let mut value = String::new();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(err(
+                            line,
+                            format!("bad escape \\{:?} in label value", other.map(|(_, c)| c)),
+                        ))
+                    }
+                },
+                '"' => {
+                    end = Some(i + 1);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| err(line, "unterminated label value"))?;
+        labels.push((key.to_string(), value));
+        rest = rest[end..].trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        } else if !rest.starts_with('}') {
+            return Err(err(line, "expected ',' or '}' after label"));
+        }
+    }
+}
+
+/// Parses a scrape without cross-sample validation. Use
+/// [`validate`] for the full check.
+pub fn parse(text: &str) -> Result<Scrape, ExpoError> {
+    let mut scrape = Scrape::default();
+    // Families whose # TYPE/# HELP we have seen, to reject duplicates
+    // and samples that precede their # TYPE.
+    let mut typed: BTreeMap<String, usize> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            let (keyword, rest) = match comment.split_once(' ') {
+                Some((k @ ("HELP" | "TYPE"), rest)) => (k, rest),
+                _ => continue, // plain comment
+            };
+            let (name, payload) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(lineno, format!("# {keyword} without payload")))?;
+            if !is_name(name, true) {
+                return Err(err(lineno, format!("invalid metric name {name:?}")));
+            }
+            let family = scrape.families.entry(name.to_string()).or_default();
+            if keyword == "HELP" {
+                if !family.help.is_empty() {
+                    return Err(err(lineno, format!("duplicate # HELP for {name}")));
+                }
+                family.help = payload.to_string();
+            } else {
+                if typed.contains_key(name) {
+                    return Err(err(lineno, format!("duplicate # TYPE for {name}")));
+                }
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&payload) {
+                    return Err(err(lineno, format!("unknown type {payload:?}")));
+                }
+                if !family.samples.is_empty() {
+                    return Err(err(lineno, format!("# TYPE for {name} after its samples")));
+                }
+                family.kind = payload.to_string();
+                typed.insert(name.to_string(), lineno);
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_ascii_whitespace())
+            .ok_or_else(|| err(lineno, "sample without value"))?;
+        let name = &line[..name_end];
+        if !is_name(name, true) {
+            return Err(err(lineno, format!("invalid metric name {name:?}")));
+        }
+        let rest = &line[name_end..];
+        let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+            parse_labels(body, lineno)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let value_text = rest.trim();
+        if value_text.is_empty() {
+            return Err(err(lineno, "sample without value"));
+        }
+        // Timestamps (a second field) are legal in the format but the
+        // renderer never emits them; reject to catch renderer drift.
+        if value_text.split_ascii_whitespace().count() != 1 {
+            return Err(err(lineno, "unexpected trailing field after value"));
+        }
+        let value = parse_value(value_text, lineno)?;
+        let base = base_name(name);
+        let family_name = if typed.contains_key(base) { base } else { name };
+        let family = scrape.families.entry(family_name.to_string()).or_default();
+        if family.kind.is_empty() {
+            family.kind = "untyped".to_string();
+        }
+        family.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(scrape)
+}
+
+/// Parses and validates: every family has a `# TYPE`, counters are
+/// non-negative finite integers, and each histogram label set has
+/// cumulative non-decreasing buckets ending in `+Inf` equal to its
+/// `_count`, plus exactly one `_sum` and `_count`.
+pub fn validate(text: &str) -> Result<Scrape, ExpoError> {
+    let scrape = parse(text)?;
+    for (name, family) in &scrape.families {
+        if family.kind == "untyped" {
+            return Err(err(0, format!("family {name} has no # TYPE")));
+        }
+        match family.kind.as_str() {
+            "counter" => {
+                for s in &family.samples {
+                    if s.name != *name {
+                        return Err(err(
+                            0,
+                            format!("counter {name} has stray series {}", s.name),
+                        ));
+                    }
+                    if !(s.value.is_finite() && s.value >= 0.0 && s.value.fract() == 0.0) {
+                        return Err(err(
+                            0,
+                            format!("counter {name} sample {} is not a whole number", s.value),
+                        ));
+                    }
+                }
+            }
+            "gauge" => {
+                for s in &family.samples {
+                    if s.name != *name {
+                        return Err(err(0, format!("gauge {name} has stray series {}", s.name)));
+                    }
+                }
+            }
+            "histogram" => validate_histogram(name, family)?,
+            other => {
+                return Err(err(
+                    0,
+                    format!("family {name} has unsupported type {other}"),
+                ))
+            }
+        }
+    }
+    Ok(scrape)
+}
+
+/// Groups a histogram family's samples by their non-`le` labels and
+/// checks each group independently.
+fn validate_histogram(name: &str, family: &ParsedFamily) -> Result<(), ExpoError> {
+    #[derive(Default)]
+    struct Group {
+        buckets: Vec<(f64, f64)>, // (le, cumulative count)
+        sum: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut groups: BTreeMap<String, Group> = BTreeMap::new();
+    let group_key = |labels: &[(String, String)]| {
+        let mut pairs: Vec<String> = labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        pairs.sort();
+        pairs.join(",")
+    };
+    for s in &family.samples {
+        let group = groups.entry(group_key(&s.labels)).or_default();
+        if s.name == format!("{name}_bucket") {
+            let le = s
+                .label("le")
+                .ok_or_else(|| err(0, format!("{name}_bucket without le label")))?;
+            let le = parse_value(le, 0)
+                .map_err(|_| err(0, format!("{name}_bucket has unparseable le")))?;
+            group.buckets.push((le, s.value));
+        } else if s.name == format!("{name}_sum") {
+            if group.sum.replace(s.value).is_some() {
+                return Err(err(0, format!("duplicate {name}_sum")));
+            }
+        } else if s.name == format!("{name}_count") {
+            if group.count.replace(s.value).is_some() {
+                return Err(err(0, format!("duplicate {name}_count")));
+            }
+        } else {
+            return Err(err(
+                0,
+                format!("histogram {name} has stray series {}", s.name),
+            ));
+        }
+    }
+    for (key, group) in &groups {
+        let ctx = if key.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name}{{{key}}}")
+        };
+        let count = group
+            .count
+            .ok_or_else(|| err(0, format!("histogram {ctx} missing _count")))?;
+        if group.sum.is_none() {
+            return Err(err(0, format!("histogram {ctx} missing _sum")));
+        }
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_cum = 0.0f64;
+        let mut saw_inf = false;
+        for &(le, cum) in &group.buckets {
+            if le <= prev_le {
+                return Err(err(
+                    0,
+                    format!("histogram {ctx} buckets not ascending by le"),
+                ));
+            }
+            if cum < prev_cum {
+                return Err(err(0, format!("histogram {ctx} buckets not cumulative")));
+            }
+            prev_le = le;
+            prev_cum = cum;
+            if le.is_infinite() {
+                saw_inf = true;
+                if (cum - count).abs() > f64::EPSILON {
+                    return Err(err(
+                        0,
+                        format!("histogram {ctx} +Inf bucket {cum} != _count {count}"),
+                    ));
+                }
+            }
+        }
+        if !saw_inf {
+            return Err(err(0, format!("histogram {ctx} missing +Inf bucket")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renderer_output_validates() {
+        let r = Registry::new();
+        r.counter("fdip_a_total", "a").add(3);
+        r.counter_with("fdip_b_total", "b", &[("status", "200")])
+            .inc();
+        r.counter_with("fdip_b_total", "b", &[("status", "404")])
+            .inc();
+        r.gauge("fdip_c", "c").set(1.25);
+        let h = r.histogram_with("fdip_d_us", "d", &[("op", "x")]);
+        for v in [0u64, 5, 5, 100] {
+            h.observe(v);
+        }
+        let scrape = validate(&r.render()).expect("render must validate");
+        assert_eq!(scrape.counter_total("fdip_a_total"), Some(3));
+        assert_eq!(scrape.counter_total("fdip_b_total"), Some(2));
+        assert_eq!(scrape.gauge_value("fdip_c"), Some(1.25));
+        assert_eq!(scrape.histogram_count("fdip_d_us"), Some(4));
+        let d = &scrape.families["fdip_d_us"];
+        assert_eq!(d.kind, "histogram");
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let r = Registry::new();
+        r.counter_with("fdip_e_total", "e", &[("path", "a\"b\\c\nd")])
+            .inc();
+        let scrape = validate(&r.render()).unwrap();
+        let sample = &scrape.families["fdip_e_total"].samples[0];
+        assert_eq!(sample.label("path"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn type_after_samples_is_rejected() {
+        let text = "fdip_x_total 1\n# TYPE fdip_x_total counter\n";
+        assert!(parse(text).unwrap_err().msg.contains("after its samples"));
+    }
+
+    #[test]
+    fn missing_type_fails_validation_but_parses() {
+        let text = "fdip_x_total 1\n";
+        assert!(parse(text).is_ok());
+        assert!(validate(text).unwrap_err().msg.contains("no # TYPE"));
+    }
+
+    #[test]
+    fn non_cumulative_histogram_is_rejected() {
+        let text = "\
+# TYPE fdip_h histogram
+fdip_h_bucket{le=\"1\"} 5
+fdip_h_bucket{le=\"2\"} 3
+fdip_h_bucket{le=\"+Inf\"} 5
+fdip_h_sum 9
+fdip_h_count 5
+";
+        assert!(validate(text).unwrap_err().msg.contains("not cumulative"));
+    }
+
+    #[test]
+    fn inf_bucket_must_match_count() {
+        let text = "\
+# TYPE fdip_h histogram
+fdip_h_bucket{le=\"+Inf\"} 4
+fdip_h_sum 9
+fdip_h_count 5
+";
+        assert!(validate(text).unwrap_err().msg.contains("!= _count"));
+    }
+
+    #[test]
+    fn fractional_counters_are_rejected() {
+        let text = "# TYPE fdip_x_total counter\nfdip_x_total 1.5\n";
+        assert!(validate(text).unwrap_err().msg.contains("whole number"));
+    }
+
+    #[test]
+    fn junk_lines_are_diagnosed_with_line_numbers() {
+        let text = "# TYPE fdip_x counter\nfdip_x{bad} 1\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("'='"), "{e}");
+    }
+}

@@ -51,16 +51,41 @@ impl ServeError {
     }
 }
 
-/// One parsed request: method, path, and the JSON body (`Json::Null`
-/// when the body is empty).
+/// One parsed request: method, path, query parameters, and the JSON
+/// body (`Json::Null` when the body is empty).
 #[derive(Clone, Debug)]
 pub struct Request {
     /// HTTP method (`GET`/`POST`).
     pub method: String,
-    /// Request path (e.g. `/v1/grid`).
+    /// Request path with any query string stripped (e.g. `/v1/grid`).
     pub path: String,
+    /// `k=v` pairs from the query string, in request order. Values are
+    /// taken literally — the daemon's parameters (`since=`, `level=`,
+    /// `target=`, `limit=`) never need percent-encoding.
+    pub query: Vec<(String, String)>,
     /// Parsed JSON body, `Json::Null` if the request carried none.
     pub body: Json,
+}
+
+impl Request {
+    /// The last value of query parameter `key`, if present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// What a handler returns: most endpoints speak JSON, `/v1/metrics`
+/// speaks Prometheus text exposition.
+#[derive(Clone, Debug)]
+pub enum Reply {
+    /// An `application/json` body.
+    Json(Json),
+    /// A `text/plain; version=0.0.4` body (the exposition content type).
+    Text(String),
 }
 
 fn reason(status: u16) -> &'static str {
@@ -96,13 +121,26 @@ pub fn read_request(
         .read_line(&mut line)
         .map_err(|e| map_io("request line", &e))?;
     let mut parts = line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
+    let (method, target) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_string(), p.to_string()),
         _ => {
             return Err(ServeError::bad_request(format!(
                 "bad request line {line:?}"
             )))
         }
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (
+            p.to_string(),
+            q.split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (pair.to_string(), String::new()),
+                })
+                .collect(),
+        ),
+        None => (target, Vec::new()),
     };
     let mut content_length = 0usize;
     loop {
@@ -140,7 +178,12 @@ pub fn read_request(
             .map_err(|e| ServeError::bad_request(format!("body is not utf-8: {e}")))?;
         Json::parse(&text).map_err(|e| ServeError::bad_request(format!("body is not json: {e}")))?
     };
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
 }
 
 fn map_io(stage: &str, e: &io::Error) -> ServeError {
@@ -158,9 +201,18 @@ fn map_io(stage: &str, e: &io::Error) -> ServeError {
 /// exchange (`Connection: close`). Write errors are returned for logging
 /// only — the connection is torn down either way.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &Json) -> io::Result<()> {
-    let payload = body.to_string();
+    write_reply(stream, status, &Reply::Json(body.clone()))
+}
+
+/// Writes one HTTP/1.1 response for either reply flavor and closes the
+/// exchange.
+pub fn write_reply(stream: &mut TcpStream, status: u16, reply: &Reply) -> io::Result<()> {
+    let (content_type, payload) = match reply {
+        Reply::Json(body) => ("application/json", body.to_string()),
+        Reply::Text(text) => ("text/plain; version=0.0.4", text.clone()),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         reason(status),
         payload.len()
@@ -202,6 +254,21 @@ mod tests {
             req.body.get("a").and_then(Json::as_arr).map(<[Json]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn query_strings_are_split_off_the_path() {
+        let req = exchange(
+            "GET /v1/logs?since=12&level=debug&target=serve&flag HTTP/1.1\r\n\
+             Host: x\r\nContent-Length: 0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.path, "/v1/logs");
+        assert_eq!(req.query("since"), Some("12"));
+        assert_eq!(req.query("level"), Some("debug"));
+        assert_eq!(req.query("target"), Some("serve"));
+        assert_eq!(req.query("flag"), Some(""));
+        assert_eq!(req.query("missing"), None);
     }
 
     #[test]

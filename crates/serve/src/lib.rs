@@ -18,8 +18,11 @@
 //!   in-flight grids with 429 backpressure), cell classification
 //!   (cache hit / coalesce onto an in-flight simulation / run), and
 //!   response assembly;
-//! * [`telemetry`] — the Document 6 serve manifest behind
-//!   `GET /v1/telemetry`.
+//! * [`telemetry`] — the shared `fdip-obs` metrics registry behind both
+//!   the Document 6 manifest (`GET /v1/telemetry`) and the Prometheus
+//!   text exposition (`GET /v1/metrics`); structured logs are served at
+//!   `GET /v1/logs` and grid traces dump to `--trace-dir`
+//!   (`docs/OBSERVABILITY.md`).
 //!
 //! The wire protocol, cache-key derivation, and journal format are
 //! specified in `docs/SERVE.md` and enforced bidirectionally by
@@ -43,13 +46,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use fdip_exec::{CancelToken, Pool};
-use fdip_harness::remote::{GRID_PATH, HEALTHZ_PATH, PROGRESS_PATH, SHUTDOWN_PATH, TELEMETRY_PATH};
+use fdip_harness::remote::{
+    GRID_PATH, HEALTHZ_PATH, LOGS_PATH, METRICS_PATH, PROGRESS_PATH, SHUTDOWN_PATH, TELEMETRY_PATH,
+};
+use fdip_obs::clock::Timer;
+use fdip_obs::log::{self, Level};
 use fdip_program::workload::Workload;
 use fdip_program::Program;
 use fdip_telemetry::{Json, SCHEMA_VERSION};
 
 use cache::Cache;
-use http::{read_request, write_response, Request, ServeError};
+use http::{read_request, write_reply, Reply, Request, ServeError};
 use journal::Journal;
 use telemetry::ServeTelemetry;
 
@@ -75,6 +82,9 @@ pub struct ServerConfig {
     /// been simulated (daemon-wide), stop cold — cancel every in-flight
     /// grid and refuse new work — leaving the journal mid-grid.
     pub crash_after_cells: Option<u64>,
+    /// When set, each grid's lifecycle spans are written there as a
+    /// Chrome `trace_event` JSON file (`grid-<id>.json`).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -91,6 +101,7 @@ impl ServerConfig {
             read_timeout_ms: 10_000,
             grid_timeout_ms: 600_000,
             crash_after_cells: None,
+            trace_dir: None,
         }
     }
 }
@@ -224,14 +235,43 @@ impl Server {
             tokens: Mutex::new(BTreeMap::new()),
         });
 
+        log::info(
+            "serve",
+            "daemon started",
+            &[
+                ("addr", addr.to_string().as_str().into()),
+                (
+                    "state_dir",
+                    shared
+                        .config
+                        .state_dir
+                        .display()
+                        .to_string()
+                        .as_str()
+                        .into(),
+                ),
+                ("incomplete_grids", (incomplete.len() as u64).into()),
+            ],
+        );
         let resume_thread = (!incomplete.is_empty()).then(|| {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
                 for inc in incomplete {
+                    shared.telemetry.on_journal_replay();
+                    log::info(
+                        "serve",
+                        "resuming journaled grid",
+                        &[("grid_id", inc.grid_id.as_str().into())],
+                    );
                     if let Err(e) = scheduler::handle_grid(&shared, &inc.request, true) {
-                        eprintln!(
-                            "fdip-serve: resume of grid {} stopped: {} ({})",
-                            inc.grid_id, e.message, e.code
+                        log::warn(
+                            "serve",
+                            "resume stopped",
+                            &[
+                                ("grid_id", inc.grid_id.as_str().into()),
+                                ("code", e.code.into()),
+                                ("message", e.message.as_str().into()),
+                            ],
                         );
                     }
                 }
@@ -310,32 +350,70 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     shared.telemetry.on_request();
-    let outcome = read_request(
+    let timer = Timer::start();
+    let request = read_request(
         &stream,
         shared.config.max_body_bytes,
         Duration::from_millis(shared.config.read_timeout_ms),
-    )
-    .and_then(|req| dispatch(shared, &req));
-    let (status, body) = match outcome {
-        Ok(body) => (200, body),
-        Err(e) => (e.status, e.to_json()),
+    );
+    let route = request
+        .as_ref()
+        .map(|r| format!("{} {}", r.method, r.path))
+        .unwrap_or_else(|_| "(unreadable)".to_string());
+    let outcome = request.and_then(|req| dispatch(shared, &req));
+    let (status, reply) = match outcome {
+        Ok(reply) => (200, reply),
+        Err(e) => {
+            log::warn(
+                "serve",
+                "request failed",
+                &[
+                    ("route", route.as_str().into()),
+                    ("status", u64::from(e.status).into()),
+                    ("code", e.code.into()),
+                    ("message", e.message.as_str().into()),
+                ],
+            );
+            (e.status, Reply::Json(e.to_json()))
+        }
     };
-    let _ = write_response(&mut stream, status, &body);
+    let micros = timer.elapsed_micros();
+    shared.telemetry.on_response(status, micros);
+    log::debug(
+        "serve",
+        "request served",
+        &[
+            ("route", route.as_str().into()),
+            ("status", u64::from(status).into()),
+            ("micros", micros.into()),
+        ],
+    );
+    let _ = write_reply(&mut stream, status, &reply);
 }
 
-fn dispatch(shared: &Arc<Shared>, req: &Request) -> Result<Json, ServeError> {
+fn dispatch(shared: &Arc<Shared>, req: &Request) -> Result<Reply, ServeError> {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", p) if p == GRID_PATH => scheduler::handle_grid(shared, &req.body, false),
-        ("GET", p) if p == HEALTHZ_PATH => Ok(Json::obj()
-            .with("schema_version", SCHEMA_VERSION)
-            .with("ok", true)),
-        ("GET", p) if p == PROGRESS_PATH => Ok(progress_json(shared)),
-        ("GET", p) if p == TELEMETRY_PATH => Ok(shared.telemetry.to_json()),
+        ("POST", p) if p == GRID_PATH => {
+            scheduler::handle_grid(shared, &req.body, false).map(Reply::Json)
+        }
+        ("GET", p) if p == HEALTHZ_PATH => Ok(Reply::Json(
+            Json::obj()
+                .with("schema_version", SCHEMA_VERSION)
+                .with("ok", true),
+        )),
+        ("GET", p) if p == PROGRESS_PATH => Ok(Reply::Json(progress_json(shared))),
+        ("GET", p) if p == TELEMETRY_PATH => Ok(Reply::Json(shared.telemetry.to_json())),
+        ("GET", p) if p == METRICS_PATH => Ok(Reply::Text(
+            shared.telemetry.render_metrics(&shared.pool().stats()),
+        )),
+        ("GET", p) if p == LOGS_PATH => Ok(Reply::Json(logs_json(req)?)),
         ("POST", p) if p == SHUTDOWN_PATH => {
             shared.begin_drain();
-            Ok(Json::obj()
-                .with("schema_version", SCHEMA_VERSION)
-                .with("draining", true))
+            Ok(Reply::Json(
+                Json::obj()
+                    .with("schema_version", SCHEMA_VERSION)
+                    .with("draining", true),
+            ))
         }
         (_, p) => Err(ServeError::new(
             404,
@@ -343,6 +421,40 @@ fn dispatch(shared: &Arc<Shared>, req: &Request) -> Result<Json, ServeError> {
             format!("no endpoint at {p}"),
         )),
     }
+}
+
+/// `GET /v1/logs` — a page of the in-memory log ring (Document 9 of
+/// `docs/METRICS.md`). Query parameters: `since` (return records with
+/// `seq` > it), `level` (minimum severity), `target` (exact match),
+/// `limit` (page size, default 256).
+fn logs_json(req: &Request) -> Result<Json, ServeError> {
+    let since = match req.query("since") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| ServeError::bad_request(format!("bad since {v:?}")))?,
+        None => 0,
+    };
+    let min_level = match req.query("level") {
+        Some(v) => Some(
+            Level::parse(v).ok_or_else(|| ServeError::bad_request(format!("bad level {v:?}")))?,
+        ),
+        None => None,
+    };
+    let limit = match req.query("limit") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ServeError::bad_request(format!("bad limit {v:?}")))?,
+        None => 256,
+    };
+    let page = log::logger().recent(since, min_level, req.query("target"), limit);
+    Ok(Json::obj()
+        .with("schema_version", SCHEMA_VERSION)
+        .with(
+            "logs",
+            Json::Arr(page.records.iter().map(log::LogRecord::to_json).collect()),
+        )
+        .with("dropped", page.dropped)
+        .with("next_since", page.next_since))
 }
 
 fn progress_json(shared: &Shared) -> Json {

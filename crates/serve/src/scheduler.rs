@@ -25,6 +25,8 @@ use fdip_exec::CancelToken;
 use fdip_harness::remote::{
     cell_key, config_from_json, config_hash, config_to_json, fnv1a64, workload_hash,
 };
+use fdip_obs::log;
+use fdip_obs::span::{SpanRecorder, Track};
 use fdip_sim::{run_workload_job, CoreConfig};
 use fdip_telemetry::{Json, ToJson, SCHEMA_VERSION};
 
@@ -61,8 +63,29 @@ struct InflightGuard<'a>(&'a Shared);
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        self.0.gate.lock().expect("gate lock").inflight_grids -= 1;
+        let remaining = {
+            let mut gate = self.0.gate.lock().expect("gate lock");
+            gate.inflight_grids -= 1;
+            gate.inflight_grids
+        };
+        self.0.telemetry.on_grid_done(remaining as u64);
         self.0.gate_cv.notify_all();
+    }
+}
+
+/// Dumps the grid's span recorder to `--trace-dir`, if tracing is on.
+fn write_trace(shared: &Shared, recorder: Option<&Arc<SpanRecorder>>, grid_id: &str) {
+    if let (Some(dir), Some(rec)) = (&shared.config.trace_dir, recorder) {
+        if let Err(e) = rec.write(dir, grid_id) {
+            log::warn(
+                "serve",
+                "trace write failed",
+                &[
+                    ("grid_id", grid_id.into()),
+                    ("error", e.to_string().as_str().into()),
+                ],
+            );
+        }
     }
 }
 
@@ -77,6 +100,13 @@ pub(crate) fn handle_grid(
     let grid = validate(body)?;
     admit(shared, resumed)?;
     let guard = InflightGuard(shared);
+    // The recorder's epoch is admission time; every span timestamp is
+    // microseconds since this point.
+    let recorder = shared
+        .config
+        .trace_dir
+        .as_ref()
+        .map(|_| Arc::new(SpanRecorder::new()));
     let suite = suite_programs(shared, &grid.suite);
     let grid_id = grid_id(&grid);
 
@@ -89,10 +119,37 @@ pub(crate) fn handle_grid(
             .map_err(|e| ServeError::new(500, "internal", format!("journal: {e}")))?;
     }
 
+    let classify_start = recorder.as_ref().map(|r| r.now_us());
     let cells = classify(shared, &grid, &suite);
     let total = cells.len() as u64;
     let hits = cells.iter().filter(|c| c.3 == Plan::Hit).count() as u64;
     let coalesced = cells.iter().filter(|c| c.3 == Plan::Coalesce).count() as u64;
+    if let Some(r) = &recorder {
+        r.slice(
+            Track::Grid,
+            "classify",
+            classify_start.unwrap_or(0),
+            Json::obj()
+                .with("grid_id", grid_id.as_str())
+                .with("cells", total)
+                .with("cache_hits", hits)
+                .with("coalesced", coalesced)
+                .with("resumed", resumed),
+        );
+    }
+    log::info(
+        "serve",
+        "grid admitted",
+        &[
+            ("grid_id", grid_id.as_str().into()),
+            ("client", grid.client.as_str().into()),
+            ("suite", grid.suite.as_str().into()),
+            ("cells", total.into()),
+            ("cache_hits", hits.into()),
+            ("coalesced", coalesced.into()),
+            ("resumed", resumed.into()),
+        ],
+    );
     shared.progress.lock().expect("progress lock").insert(
         grid_id.clone(),
         GridProgress {
@@ -103,15 +160,35 @@ pub(crate) fn handle_grid(
         },
     );
 
-    let run_ok = run_owned(shared, &grid, &suite, &grid_id, &cells);
+    let simulate_start = recorder.as_ref().map(|r| r.now_us());
+    let run_ok = run_owned(shared, &grid, &suite, &grid_id, &cells, recorder.as_ref());
+    if let Some(r) = &recorder {
+        r.slice(
+            Track::Grid,
+            "simulate",
+            simulate_start.unwrap_or(0),
+            Json::obj().with("ok", run_ok.is_ok()),
+        );
+    }
+    let wait_start = recorder.as_ref().map(|r| r.now_us());
     let wait_ok = run_ok.is_ok() && wait_coalesced(shared, &cells);
+    if let Some(r) = &recorder {
+        if coalesced > 0 {
+            r.slice(
+                Track::Grid,
+                "wait_coalesced",
+                wait_start.unwrap_or(0),
+                Json::obj().with("cells", coalesced).with("ok", wait_ok),
+            );
+        }
+    }
     if let Err(e) = run_ok {
-        finish_interrupted(shared, &grid_id);
+        finish_interrupted(shared, &grid_id, recorder.as_ref());
         drop(guard);
         return Err(e);
     }
     if !wait_ok {
-        finish_interrupted(shared, &grid_id);
+        finish_interrupted(shared, &grid_id, recorder.as_ref());
         drop(guard);
         return Err(ServeError::new(
             503,
@@ -120,7 +197,16 @@ pub(crate) fn handle_grid(
         ));
     }
 
+    let assemble_start = recorder.as_ref().map(|r| r.now_us());
     let response = assemble(shared, &grid, &suite, &grid_id, &cells)?;
+    if let Some(r) = &recorder {
+        r.slice(
+            Track::Grid,
+            "assemble",
+            assemble_start.unwrap_or(0),
+            Json::obj().with("cells", total),
+        );
+    }
     shared
         .journal
         .lock()
@@ -140,6 +226,23 @@ pub(crate) fn handle_grid(
     shared
         .telemetry
         .on_cells_served(&grid.client, total, hits, coalesced);
+    if let Some(r) = &recorder {
+        r.instant(
+            Track::Grid,
+            "completed",
+            Json::obj().with("grid_id", grid_id.as_str()),
+        );
+    }
+    write_trace(shared, recorder.as_ref(), &grid_id);
+    log::info(
+        "serve",
+        "grid completed",
+        &[
+            ("grid_id", grid_id.as_str().into()),
+            ("client", grid.client.as_str().into()),
+            ("cells", total.into()),
+        ],
+    );
     drop(guard);
     Ok(response)
 }
@@ -317,6 +420,7 @@ fn run_owned(
     suite: &[BuiltWorkload],
     grid_id: &str,
     cells: &[Cell],
+    recorder: Option<&Arc<SpanRecorder>>,
 ) -> Result<(), ServeError> {
     let own: Vec<&Cell> = cells.iter().filter(|c| c.3 == Plan::Own).collect();
     if own.is_empty() {
@@ -340,8 +444,25 @@ fn run_owned(
         let (workload, seed) = (w.name.clone(), w.params.seed);
         let (wl_hash, program) = (*wl_hash, Arc::clone(program));
         let (warmup, measure) = (grid.warmup, grid.measure);
+        let recorder = recorder.map(Arc::clone);
+        let config_index = *ci;
         jobs.push(move || {
+            shared.telemetry.on_cell_sim_flight(1.0);
+            let sim_start = recorder.as_ref().map(|r| r.now_us());
+            let sim_timer = fdip_obs::clock::Timer::start();
             let (stats, dists) = run_workload_job(cfg.clone(), program, warmup, measure);
+            let sim_micros = sim_timer.elapsed_micros();
+            if let Some(r) = &recorder {
+                r.slice(
+                    Track::Cells,
+                    &workload,
+                    sim_start.unwrap_or(0),
+                    Json::obj()
+                        .with("cell", key.as_str())
+                        .with("config_index", config_index as u64),
+                );
+            }
+            shared.telemetry.on_cell_sim_flight(-1.0);
             let entry = Json::obj()
                 .with("schema_version", SCHEMA_VERSION)
                 .with("cell", key.as_str())
@@ -362,7 +483,7 @@ fn run_owned(
                     .expect("journal lock")
                     .cell_done(&grid_id, &key);
             }
-            let simulated = shared.telemetry.on_cell_simulated();
+            let simulated = shared.telemetry.on_cell_simulated(sim_micros);
             if shared
                 .config
                 .crash_after_cells
@@ -481,7 +602,7 @@ fn wait_coalesced(shared: &Shared, cells: &[Cell]) -> bool {
     ok
 }
 
-fn finish_interrupted(shared: &Shared, grid_id: &str) {
+fn finish_interrupted(shared: &Shared, grid_id: &str, recorder: Option<&Arc<SpanRecorder>>) {
     if let Some(p) = shared
         .progress
         .lock()
@@ -491,6 +612,15 @@ fn finish_interrupted(shared: &Shared, grid_id: &str) {
         p.state = "interrupted";
     }
     shared.telemetry.on_grid_interrupted();
+    log::warn("serve", "grid interrupted", &[("grid_id", grid_id.into())]);
+    if let Some(r) = recorder {
+        r.instant(
+            Track::Grid,
+            "interrupted",
+            Json::obj().with("grid_id", grid_id),
+        );
+    }
+    write_trace(shared, recorder, grid_id);
 }
 
 /// Assembles the grid response by re-reading every cell from the cache

@@ -69,12 +69,16 @@ diff -u "$tmp/untraced.stripped.json" "$tmp/traced.stripped.json"
 echo "    tracing leaves results byte-identical"
 
 echo "==> serve smoke: served sweep == local sweep, then 100% cache hits"
-# Start the daemon on an ephemeral port, run the same quick sweep as the
-# determinism smoke through it, and require the stripped results to be
-# byte-identical to the local run above (docs/SERVE.md "Determinism
-# guarantee"). A second served pass must hit only the cache, and the
-# daemon must drain cleanly on ctl shutdown.
+# Start the daemon on an ephemeral port — with observability fully on
+# (debug logging, a log file, span tracing) so the byte-identity diff
+# below doubles as the obs-on vs obs-off determinism gate
+# (docs/OBSERVABILITY.md) — run the same quick sweep as the determinism
+# smoke through it, and require the stripped results to be byte-identical
+# to the local run above (docs/SERVE.md "Determinism guarantee"). A
+# second served pass must hit only the cache, and the daemon must drain
+# cleanly on ctl shutdown.
 ./target/release/fdip-serve --addr 127.0.0.1:0 --state-dir "$tmp/serve-state" \
+  --log debug --log-file "$tmp/serve-file.log" --trace-dir "$tmp/serve-traces" \
   --port-file "$tmp/serve.addr" > "$tmp/serve.log" 2>&1 &
 serve_pid=$!
 for _ in $(seq 1 100); do
@@ -92,9 +96,26 @@ for pass in 1 2; do
 done
 ./target/release/fdip-serve ctl "$addr" telemetry > "$tmp/serve-telemetry.json"
 grep -q '"cache_hits"' "$tmp/serve-telemetry.json"
+# Observability smoke (docs/OBSERVABILITY.md "Enforcement"): ctl metrics
+# exits nonzero unless the scrape passes the in-repo exposition
+# validator; the scrape must cover the catalog's breadth; ctl tail must
+# page the structured log ring; every grid must have written a Chrome
+# trace; and the daemon's own log file must hold JSON records.
+./target/release/fdip-serve ctl "$addr" metrics > "$tmp/serve-metrics.txt"
+families="$(grep -c '^# TYPE fdip_' "$tmp/serve-metrics.txt")"
+if [ "$families" -lt 12 ]; then
+  echo "scrape covers only $families families" >&2
+  exit 1
+fi
+grep -q '^fdip_serve_cells_simulated_total ' "$tmp/serve-metrics.txt"
+./target/release/fdip-serve ctl "$addr" tail --limit 1024 > "$tmp/serve-tail.txt"
+grep -q 'grid admitted' "$tmp/serve-tail.txt"
+ls "$tmp"/serve-traces/grid-*.json > /dev/null
+grep -q '"traceEvents"' "$tmp"/serve-traces/grid-*.json
+grep -q '"msg":"daemon started"' "$tmp/serve-file.log"
 ./target/release/fdip-serve ctl "$addr" shutdown > /dev/null
 wait "$serve_pid"
-echo "    served results byte-identical to local; daemon drained"
+echo "    served results byte-identical to local; obs surfaces live; daemon drained"
 
 echo "==> fuzz smoke: differential invariants, report determinism, injection"
 # The fuzz gate (docs/FUZZ.md): a fixed-seed campaign must pass every

@@ -130,7 +130,7 @@ fn every_serve_manifest_field_is_documented() {
     t.on_grid_rejected(true);
     t.on_grid_rejected(false);
     t.on_cells_served("metrics-doc-test", 6, 2, 1);
-    t.on_cell_simulated();
+    t.on_cell_simulated(1_250);
     let emitted = t.to_json();
     assert_eq!(
         emitted.get("schema_version").and_then(Json::as_u64),

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 
 use fdip_harness::remote::{
     cell_key, config_hash, config_to_json, fnv1a64, grid_request, http_json_request, workload_hash,
-    GRID_PATH, HEALTHZ_PATH, PROGRESS_PATH, SHUTDOWN_PATH, TELEMETRY_PATH,
+    GRID_PATH, HEALTHZ_PATH, LOGS_PATH, METRICS_PATH, PROGRESS_PATH, SHUTDOWN_PATH, TELEMETRY_PATH,
 };
 use fdip_serve::{Server, ServerConfig};
 use fdip_sim::CoreConfig;
@@ -100,11 +100,13 @@ fn every_wire_key_is_documented() {
     assert_eq!(summary.get("cache_hits").and_then(Json::as_u64), Some(0));
     assert_eq!(summary.get("coalesced").and_then(Json::as_u64), Some(0));
 
-    // Every GET endpoint, same rule.
+    // Every JSON GET endpoint, same rule (`/v1/metrics` is text, not
+    // JSON — its vocabulary is enforced by tests/obs_doc.rs instead).
     for (path, context) in [
         (HEALTHZ_PATH, "healthz"),
         (PROGRESS_PATH, "progress"),
         (TELEMETRY_PATH, "telemetry"),
+        (LOGS_PATH, "logs"),
     ] {
         let (status, body) = http_json_request(&addr, "GET", path, None).expect(context);
         assert_eq!(status, 200, "{context}");
@@ -225,6 +227,8 @@ fn documented_paths_and_codes_appear_in_the_doc() {
         HEALTHZ_PATH,
         PROGRESS_PATH,
         TELEMETRY_PATH,
+        METRICS_PATH,
+        LOGS_PATH,
         SHUTDOWN_PATH,
     ] {
         assert!(doc.contains(path), "docs/SERVE.md does not mention {path}");
