@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fdip-lint [--root <dir>] [--allowlist <path>] [--json <path>]
-//!           [--deny] [--notes] [--list-passes]
+//!           [--deny] [--notes] [--list-passes] [--inject <pass>]
 //! ```
 //!
 //! Prints one `file:line:col: [pass] severity: message` line per finding
@@ -10,13 +10,18 @@
 //! `lint.json` document (Document 5 of `docs/METRICS.md`). With
 //! `--deny`, exits non-zero when any error/warn finding lacks an
 //! allowlist justification — the `scripts/verify.sh` gate.
+//!
+//! `--inject <pass>` is the detection-liveness harness: it splices the
+//! named pass's registered bad construct into its target file (in
+//! memory only) before linting, so a healthy pass *must* deny. CI runs
+//! `--deny --inject <pass>` per pass and fails if the exit is zero.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fdip_analysis::allow::Allowlist;
 use fdip_analysis::report::Severity;
-use fdip_analysis::{lint_workspace, passes, ALLOWLIST_PATH};
+use fdip_analysis::{lint_workspace_with, passes, ALLOWLIST_PATH};
 
 struct Args {
     root: PathBuf,
@@ -25,6 +30,7 @@ struct Args {
     deny: bool,
     notes: bool,
     list_passes: bool,
+    inject: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         deny: false,
         notes: false,
         list_passes: false,
+        inject: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -47,10 +54,11 @@ fn parse_args() -> Result<Args, String> {
             "--deny" => args.deny = true,
             "--notes" => args.notes = true,
             "--list-passes" => args.list_passes = true,
+            "--inject" => args.inject = Some(it.next().ok_or("--inject needs a pass id")?),
             "--help" | "-h" => {
                 println!(
                     "usage: fdip-lint [--root <dir>] [--allowlist <path>] [--json <path>] \
-                     [--deny] [--notes] [--list-passes]"
+                     [--deny] [--notes] [--list-passes] [--inject <pass>]"
                 );
                 std::process::exit(0);
             }
@@ -93,7 +101,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = match lint_workspace(&args.root, &mut allowlist) {
+    if let Some(id) = &args.inject {
+        eprintln!("fdip-lint: injecting the `{id}` mutation (in memory; no files change)");
+    }
+    let outcome = match lint_workspace_with(&args.root, &mut allowlist, args.inject.as_deref()) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("fdip-lint: {e}");

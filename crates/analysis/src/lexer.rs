@@ -463,53 +463,6 @@ fn mark_test_regions(tokens: &mut [Token]) {
     }
 }
 
-/// For each token, whether it sits inside the *body* of a `for`/`while`/
-/// `loop` block (any nesting level). `impl Trait for Type` is excluded:
-/// a `for` only opens a loop body once an `in` has been seen before the
-/// `{` (while `while`/`loop` arm the next `{` directly).
-pub fn in_loop_map(tokens: &[Token]) -> Vec<bool> {
-    let mut map = vec![false; tokens.len()];
-    let mut stack: Vec<bool> = Vec::new();
-    let mut loops_open = 0usize;
-    let mut pending_loop = false;
-    let mut pending_for = false;
-    for (i, t) in tokens.iter().enumerate() {
-        map[i] = loops_open > 0;
-        match t.kind {
-            TokKind::Ident => match t.text.as_str() {
-                "loop" | "while" => pending_loop = true,
-                "for" => pending_for = true,
-                "in" if pending_for => {
-                    pending_for = false;
-                    pending_loop = true;
-                }
-                _ => {}
-            },
-            TokKind::Punct => match t.text.as_str() {
-                "{" => {
-                    let is_loop = pending_loop;
-                    pending_loop = false;
-                    pending_for = false;
-                    stack.push(is_loop);
-                    if is_loop {
-                        loops_open += 1;
-                    }
-                }
-                "}" if stack.pop() == Some(true) => {
-                    loops_open = loops_open.saturating_sub(1);
-                }
-                ";" => {
-                    pending_loop = false;
-                    pending_for = false;
-                }
-                _ => {}
-            },
-            _ => {}
-        }
-    }
-    map
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,23 +599,5 @@ mod tests {
             .collect();
         assert_eq!(unwraps, [true, false]);
         assert!(toks.iter().any(|t| t.is_ident("S") && !t.in_test));
-    }
-
-    #[test]
-    fn loop_map_covers_for_while_loop_but_not_impl_for() {
-        let src = "impl A for B { fn f(&self) { let x = v[0]; } }\n\
-                   fn g() { for i in 0..4 { h(v[i]); } while t { w[1]; } loop { z[2]; } }";
-        let toks = lex(src);
-        let map = in_loop_map(&toks);
-        let at = |name: &str| {
-            toks.iter()
-                .position(|t| t.is_ident(name))
-                .map(|i| map[i])
-                .unwrap_or(false)
-        };
-        assert!(!at("x"), "impl-for body is not a loop");
-        assert!(at("h"));
-        assert!(at("w"));
-        assert!(at("z"));
     }
 }

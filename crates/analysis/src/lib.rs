@@ -13,22 +13,31 @@
 //! | pass | invariant |
 //! |---|---|
 //! | `determinism` | no wall-clock reads, hash-order iteration, thread ids, or un-seeded randomness in result-affecting crates |
-//! | `atomics` | no `Ordering::Relaxed` on executor atomics without justification |
+//! | `atomics` | no `Ordering::Relaxed` on executor/daemon/telemetry atomics without justification |
 //! | `panic-audit` | no `unwrap`/`expect`/`panic!` in the hot-path modules |
 //! | `unsafe-forbid` | the workspace stays `unsafe`-free |
 //! | `schema-drift` | every emitted JSON key is documented in `docs/METRICS.md` (serve/wire code may document keys in `docs/SERVE.md`) |
+//! | `hot-alloc` | no heap allocation reachable inside loops in the hot-path modules |
+//! | `lock-discipline` | Condvar waits re-checked in loops, no guard across blocking calls, one lock order |
+//! | `result-drop` | no silently discarded `Result`s in non-test code |
 //!
 //! The architecture is a hand-rolled lexer ([`lexer`]) — comments,
-//! strings, char-vs-lifetime, idents; deliberately not a parser — a
-//! registry of passes over the token stream ([`passes`]), a justified
-//! allowlist ([`allow`]), and machine-readable diagnostics plus a
-//! versioned `lint.json` ([`report`], Document 5 of `docs/METRICS.md`).
-//! See `docs/ANALYSIS.md` for the operator's view.
+//! strings, char-vs-lifetime, idents — a tolerant recursive-descent
+//! parser over it ([`ast`]) with scope queries ([`scope`]), a registry
+//! of passes ([`passes`]), a justified allowlist ([`allow`]),
+//! machine-readable diagnostics plus a versioned `lint.json`
+//! ([`report`], Document 5 of `docs/METRICS.md`), and a
+//! detection-liveness harness ([`mutate`]) that splices known-bad
+//! constructs in memory to prove each pass still fires. See
+//! `docs/ANALYSIS.md` for the operator's view.
 
 pub mod allow;
+pub mod ast;
 pub mod lexer;
+pub mod mutate;
 pub mod passes;
 pub mod report;
+pub mod scope;
 
 use std::path::Path;
 
@@ -93,6 +102,29 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
 /// auditing) the allowlist. The returned findings are sorted by
 /// `(file, line, col, pass)`.
 pub fn lint_workspace(root: &Path, allowlist: &mut Allowlist) -> std::io::Result<LintOutcome> {
+    lint_workspace_with(root, allowlist, None)
+}
+
+/// [`lint_workspace`] with an optional detection-liveness mutation:
+/// when `inject` names a pass, that pass's known-bad construct from
+/// [`mutate::MUTATIONS`] is spliced (in memory only — nothing on disk
+/// changes) into its target file before linting. A healthy pass then
+/// produces at least one denying finding; a silently-dead one exits
+/// clean, which `scripts/verify.sh` turns into a CI failure.
+pub fn lint_workspace_with(
+    root: &Path,
+    allowlist: &mut Allowlist,
+    inject: Option<&str>,
+) -> std::io::Result<LintOutcome> {
+    let mutation = match inject {
+        Some(id) => Some(mutate::for_pass(id).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("no mutation registered for pass `{id}`"),
+            )
+        })?),
+        None => None,
+    };
     let metrics_doc = std::fs::read_to_string(root.join("docs/METRICS.md")).unwrap_or_default();
     let serve_doc = std::fs::read_to_string(root.join("docs/SERVE.md")).unwrap_or_default();
     let ctx = PassCtx {
@@ -103,11 +135,13 @@ pub fn lint_workspace(root: &Path, allowlist: &mut Allowlist) -> std::io::Result
     let files = collect_files(root)?;
     let mut findings = Vec::new();
     for rel in &files {
-        let text = std::fs::read_to_string(root.join(rel))?;
-        let src = SourceFile {
-            path: rel.clone(),
-            tokens: lexer::lex(&text),
-        };
+        let mut text = std::fs::read_to_string(root.join(rel))?;
+        if let Some(m) = mutation {
+            if m.file == rel {
+                text = mutate::splice(&text, m);
+            }
+        }
+        let src = SourceFile::new(rel.clone(), &text);
         for pass in &passes {
             (pass.run)(&ctx, &src, &mut findings);
         }
@@ -124,8 +158,9 @@ pub fn lint_workspace(root: &Path, allowlist: &mut Allowlist) -> std::io::Result
 }
 
 /// Marks findings covered by the allowlist and appends meta-findings for
-/// allowlist problems: entries with no justification (error) and entries
-/// that matched nothing (warn — stale entries must be pruned).
+/// allowlist problems: entries with no justification and entries that
+/// matched nothing. Both are errors — a stale entry means the allowlist
+/// no longer tracks reality and must be pruned before `--deny` passes.
 pub fn apply_allowlist(findings: &mut Vec<Finding>, allowlist: &mut Allowlist) {
     for f in findings.iter_mut() {
         if f.severity < Severity::Warn {
@@ -141,6 +176,7 @@ pub fn apply_allowlist(findings: &mut Vec<Finding>, allowlist: &mut Allowlist) {
         if e.justification.is_empty() {
             findings.push(Finding {
                 pass: "allowlist",
+                kind: "missing-justification",
                 file: ALLOWLIST_PATH.to_string(),
                 line: e.line,
                 col: 1,
@@ -156,10 +192,11 @@ pub fn apply_allowlist(findings: &mut Vec<Finding>, allowlist: &mut Allowlist) {
         } else if !e.used {
             findings.push(Finding {
                 pass: "allowlist",
+                kind: "stale-entry",
                 file: ALLOWLIST_PATH.to_string(),
                 line: e.line,
                 col: 1,
-                severity: Severity::Warn,
+                severity: Severity::Error,
                 needle: e.needle.clone(),
                 message: format!(
                     "stale allowlist entry `{} | {} | {}`: no finding matches it — \
@@ -181,6 +218,7 @@ mod tests {
         let mut findings = vec![
             Finding {
                 pass: "determinism",
+                kind: "wall-clock",
                 file: "crates/harness/src/bench.rs".into(),
                 line: 5,
                 col: 1,
@@ -191,6 +229,7 @@ mod tests {
             },
             Finding {
                 pass: "determinism",
+                kind: "hash-order",
                 file: "crates/core/src/sim.rs".into(),
                 line: 9,
                 col: 1,
@@ -214,19 +253,24 @@ mod tests {
         );
         assert!(!findings[0].denies());
         assert!(findings[1].denies());
-        // Stale entry -> warn; empty justification -> error.
-        let metas: Vec<(&str, Severity)> = findings[2..]
+        // Stale entries and empty justifications are both hard errors.
+        let metas: Vec<(&str, &str, Severity)> = findings[2..]
             .iter()
-            .map(|f| (f.needle.as_str(), f.severity))
+            .map(|f| (f.needle.as_str(), f.kind, f.severity))
             .collect();
-        assert!(metas.contains(&("HashSet", Severity::Warn)));
-        assert!(metas.contains(&("Ordering::Relaxed", Severity::Error)));
+        assert!(metas.contains(&("HashSet", "stale-entry", Severity::Error)));
+        assert!(metas.contains(&(
+            "Ordering::Relaxed",
+            "missing-justification",
+            Severity::Error
+        )));
     }
 
     #[test]
     fn notes_are_never_allowlist_matched() {
         let mut findings = vec![Finding {
             pass: "panic-audit",
+            kind: "index-in-loop",
             file: "crates/core/src/sim.rs".into(),
             line: 1,
             col: 1,
@@ -239,7 +283,9 @@ mod tests {
             Allowlist::parse("panic-audit | crates/core/src/sim.rs | index | why\n").unwrap();
         apply_allowlist(&mut findings, &mut al);
         assert!(findings[0].justification.is_none());
-        // The entry is therefore stale.
-        assert!(findings.iter().any(|f| f.pass == "allowlist"));
+        // The entry is therefore stale — and stale is a hard error.
+        let meta = findings.iter().find(|f| f.pass == "allowlist").unwrap();
+        assert_eq!(meta.kind, "stale-entry");
+        assert_eq!(meta.severity, Severity::Error);
     }
 }

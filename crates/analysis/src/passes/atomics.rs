@@ -1,0 +1,54 @@
+//! Pass 2: `Ordering::Relaxed` in the crates that coordinate across
+//! threads — the executor, the sweep daemon, and the observability
+//! plane's lock-free metric handles.
+
+use super::{finding, path_pair, significant, PassCtx, SourceFile, SYNC_CRATES};
+use crate::report::{Finding, Severity};
+
+pub(super) fn run(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    if !SYNC_CRATES.iter().any(|p| src.path.starts_with(p)) {
+        return;
+    }
+    let sig = significant(&src.tokens);
+    for (s, &i) in sig.iter().enumerate() {
+        let t = &src.tokens[i];
+        if t.in_test {
+            continue;
+        }
+        if path_pair(&src.tokens, &sig, s, "Ordering", "Relaxed") {
+            out.push(finding(
+                "atomics",
+                "relaxed-ordering",
+                &src.path,
+                t,
+                Severity::Error,
+                "Ordering::Relaxed",
+                "Relaxed ordering on a cross-thread atomic: anything guarding cross-thread \
+                 hand-off needs Acquire/Release; a pure telemetry tally may be allowlisted"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::testutil::run_pass;
+
+    #[test]
+    fn atomics_flags_relaxed_in_sync_crates_only() {
+        let code = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); \
+                    c.load(Ordering::Acquire); }";
+        for path in [
+            "crates/exec/src/lib.rs",
+            "crates/obs/src/metrics.rs",
+            "crates/serve/src/scheduler.rs",
+        ] {
+            let hits = run_pass("atomics", path, code, "");
+            assert_eq!(hits.len(), 1, "{path}");
+            assert_eq!(hits[0].needle, "Ordering::Relaxed");
+            assert_eq!(hits[0].kind, "relaxed-ordering");
+        }
+        assert!(run_pass("atomics", "crates/core/src/sim.rs", code, "").is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Pass 1: determinism hazards in result-affecting crates.
+
+use super::{finding, path_pair, significant, PassCtx, SourceFile, RESULT_CRATES};
+use crate::lexer::TokKind;
+use crate::report::{Finding, Severity};
+
+pub(super) fn run(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    if !RESULT_CRATES.iter().any(|p| src.path.starts_with(p)) {
+        return;
+    }
+    let sig = significant(&src.tokens);
+    for (s, &i) in sig.iter().enumerate() {
+        let t = &src.tokens[i];
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => out.push(finding(
+                "determinism",
+                "hash-order",
+                &src.path,
+                t,
+                Severity::Error,
+                &t.text,
+                format!(
+                    "{} iteration order varies across runs; results must be byte-identical — \
+                     use BTreeMap/BTreeSet or an in-repo table (ProbeTable/FillMap)",
+                    t.text
+                ),
+            )),
+            "Instant" | "SystemTime" => out.push(finding(
+                "determinism",
+                "wall-clock",
+                &src.path,
+                t,
+                Severity::Error,
+                &t.text,
+                format!(
+                    "{} reads the wall clock; simulated time must come from the cycle \
+                     counter (timing telemetry belongs outside result-affecting code)",
+                    t.text
+                ),
+            )),
+            "thread" if path_pair(&src.tokens, &sig, s, "thread", "current") => out.push(finding(
+                "determinism",
+                "thread-id",
+                &src.path,
+                t,
+                Severity::Error,
+                "thread::current",
+                "thread identity leaks scheduler state into results".to_string(),
+            )),
+            "thread_rng" | "from_entropy" | "OsRng" | "ThreadRng" => out.push(finding(
+                "determinism",
+                "unseeded-rng",
+                &src.path,
+                t,
+                Severity::Error,
+                &t.text,
+                format!(
+                    "{} draws un-seeded randomness; construct rngs with \
+                     SeedableRng::seed_from_u64 so runs replay exactly",
+                    t.text
+                ),
+            )),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::testutil::run_pass;
+
+    #[test]
+    fn determinism_flags_only_result_crates() {
+        let code = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let hits = run_pass("determinism", "crates/core/src/sim.rs", code, "");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|f| f.needle == "Instant"));
+        assert!(hits.iter().all(|f| f.kind == "wall-clock"));
+        // The executor and telemetry crates measure wall time by design.
+        assert!(run_pass("determinism", "crates/exec/src/lib.rs", code, "").is_empty());
+        assert!(run_pass("determinism", "crates/telemetry/src/manifest.rs", code, "").is_empty());
+    }
+
+    #[test]
+    fn determinism_catches_each_hazard_class() {
+        let code = "fn f() {\n  let m: HashMap<u8, u8> = HashMap::new();\n  \
+                    let s = HashSet::new();\n  let t = SystemTime::now();\n  \
+                    let id = thread::current().id();\n  let r = thread_rng();\n}";
+        let hits = run_pass("determinism", "crates/mem/src/cache.rs", code, "");
+        let needles: Vec<&str> = hits.iter().map(|f| f.needle.as_str()).collect();
+        assert!(needles.contains(&"HashMap"));
+        assert!(needles.contains(&"HashSet"));
+        assert!(needles.contains(&"SystemTime"));
+        assert!(needles.contains(&"thread::current"));
+        assert!(needles.contains(&"thread_rng"));
+        let kinds: Vec<&str> = hits.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&"hash-order"));
+        assert!(kinds.contains(&"wall-clock"));
+        assert!(kinds.contains(&"thread-id"));
+        assert!(kinds.contains(&"unseeded-rng"));
+    }
+
+    #[test]
+    fn determinism_ignores_tests_comments_and_strings() {
+        let code = "// a HashMap in prose\nfn f() { let s = \"HashMap\"; }\n\
+                    #[cfg(test)]\nmod tests { use std::collections::HashMap;\n  \
+                    fn g() { let m = HashMap::new(); } }";
+        assert!(run_pass("determinism", "crates/core/src/sim.rs", code, "").is_empty());
+    }
+
+    #[test]
+    fn determinism_covers_the_serve_crate() {
+        let code = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let hits = run_pass("determinism", "crates/serve/src/telemetry.rs", code, "");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|f| f.needle == "Instant"));
+    }
+
+    #[test]
+    fn determinism_covers_the_obs_crate() {
+        let code = "use std::time::SystemTime;\nfn f() { let t = SystemTime::now(); }";
+        let hits = run_pass("determinism", "crates/obs/src/log.rs", code, "");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|f| f.needle == "SystemTime"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Pass 6: heap allocation reachable inside loops in the hot-path
+//! modules — the static burn-down list for the ROADMAP's
+//! "allocation-free steady state" item.
+//!
+//! A construct is flagged when it allocates (`Vec::new`, `vec![…]`,
+//! `Box::new`, `.to_vec()`, `.collect()`, `format!`, `String::from`,
+//! `.clone()`) *and* it is loop-reachable: either syntactically inside
+//! a loop ([`kind = alloc-in-loop`]) or inside a fn that an in-loop
+//! call site in the same file reaches transitively
+//! ([`kind = alloc-in-hot-fn`]). `for`-loop headers run once and do
+//! not count; closure bodies inherit the loop context of their
+//! definition site.
+//!
+//! `self.collect()` / `self.clone()`-style calls are *not* flagged:
+//! a method on `self` in these modules is a local method (e.g.
+//! `Simulator::collect` gathers stats), not the allocating std one.
+
+use super::{finding, PassCtx, SourceFile, HOT_PATH_FILES};
+use crate::ast::{NodeKind, Recv};
+use crate::report::{Finding, Severity};
+
+/// `Type::method` constructor paths that allocate.
+const ALLOC_PATHS: &[&str] = &[
+    "Vec::new",
+    "Vec::with_capacity",
+    "Box::new",
+    "String::new",
+    "String::from",
+    "String::with_capacity",
+];
+
+/// Method names that allocate a fresh buffer from an existing value.
+const ALLOC_METHODS: &[&str] = &["to_vec", "collect", "clone"];
+
+fn in_scope(path: &str) -> bool {
+    HOT_PATH_FILES.contains(&path) || path.starts_with("crates/bpred/src/")
+}
+
+pub(super) fn run(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_scope(&src.path) {
+        return;
+    }
+    for id in src.ast.walk() {
+        let needle: String = match &src.ast.nodes[id].kind {
+            NodeKind::Call { path } => {
+                let Some(p) = ALLOC_PATHS
+                    .iter()
+                    .find(|p| path == *p || path.ends_with(&format!("::{p}")))
+                else {
+                    continue;
+                };
+                (*p).to_string()
+            }
+            NodeKind::MethodCall { name, recv } => {
+                if !ALLOC_METHODS.contains(&name.as_str()) {
+                    continue;
+                }
+                // Methods on `self` resolve to local methods here.
+                if matches!(recv, Recv::SelfDot) {
+                    continue;
+                }
+                name.clone()
+            }
+            NodeKind::MacroCall { name } if name == "vec" || name == "format" => {
+                format!("{name}!")
+            }
+            _ => continue,
+        };
+        if src.ast.in_test(&src.tokens, id) || !src.scope.reachable_in_loop(id) {
+            continue;
+        }
+        let (kind, where_) = if src.scope.in_loop(id) {
+            ("alloc-in-loop", "inside a loop")
+        } else {
+            ("alloc-in-hot-fn", "in a fn called from inside a loop")
+        };
+        out.push(finding(
+            "hot-alloc",
+            kind,
+            &src.path,
+            src.ast.first_tok(&src.tokens, id),
+            Severity::Warn,
+            &needle,
+            format!(
+                "{needle} allocates {where_} on the hot path; hoist the buffer out of \
+                 the loop or reuse a preallocated one (allocation-free steady state)"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::testutil::run_pass;
+    use crate::report::Severity;
+
+    #[test]
+    fn hot_alloc_flags_loop_allocations_in_hot_files_only() {
+        let code = "fn f(n: usize) {\n  let mut acc = Vec::new();\n  \
+                    for i in 0..n { let v = vec![i]; acc.extend(v); }\n}";
+        let hits = run_pass("hot-alloc", "crates/core/src/sim.rs", code, "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].needle, "vec!");
+        assert_eq!(hits[0].kind, "alloc-in-loop");
+        assert_eq!(hits[0].severity, Severity::Warn);
+        // Same code outside the hot-path list: out of scope.
+        assert!(run_pass("hot-alloc", "crates/core/src/config.rs", code, "").is_empty());
+        // The bpred crate is covered wholesale.
+        assert_eq!(
+            run_pass("hot-alloc", "crates/bpred/src/tage.rs", code, "").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn hot_alloc_follows_the_intra_file_call_graph() {
+        let code = "impl S {\n\
+                    fn run(&mut self) { while self.more() { self.step(); } self.done(); }\n\
+                    fn step(&mut self) { let s = String::from(\"x\"); drop(s); }\n\
+                    fn done(&mut self) { let s = format!(\"end\"); drop(s); }\n\
+                    }";
+        let hits = run_pass("hot-alloc", "crates/mem/src/cache.rs", code, "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].needle, "String::from");
+        assert_eq!(hits[0].kind, "alloc-in-hot-fn");
+    }
+
+    #[test]
+    fn hot_alloc_skips_self_methods_for_headers_and_tests() {
+        let code = "impl S {\n\
+                    fn tick(&mut self) { loop { self.collect(); } }\n\
+                    fn collect(&mut self) { self.n += 1; }\n\
+                    }\n\
+                    fn g(r: &std::ops::Range<usize>) { for i in r.clone() { black_box(i); } }\n\
+                    #[cfg(test)]\nmod tests { fn t() { for _ in 0..4 { let v = vec![1]; drop(v); } } }";
+        let hits = run_pass("hot-alloc", "crates/core/src/probe.rs", code, "");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn hot_alloc_flags_method_allocs_on_fields() {
+        let code = "fn f(v: &[u8], n: usize) -> u8 {\n  let mut x = 0;\n  \
+                    for _ in 0..n { let c = v.to_vec(); x ^= c[0]; }\n  x\n}";
+        let hits = run_pass("hot-alloc", "crates/mem/src/table.rs", code, "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].needle, "to_vec");
+    }
+}

@@ -1,0 +1,414 @@
+//! Pass 7: lock discipline in the crates that coordinate across
+//! threads (`crates/exec`, `crates/serve`, `crates/obs`).
+//!
+//! Three checks, all on the syntax tree:
+//!
+//! 1. **wait-outside-loop** — a `Condvar::wait` / `wait_timeout` whose
+//!    call site is not inside a loop: spurious wakeups mean the
+//!    predicate must be re-checked (`while pred { g = cv.wait(g) }`).
+//! 2. **guard-across-blocking-call** — a `let`-bound lock guard still
+//!    live when a blocking call runs (channel send/recv, thread join,
+//!    socket accept, a simulation entry point, or another condvar's
+//!    wait): the classic serve-daemon deadlock shape.
+//! 3. **lock-order-inversion** — within one file, mutex B acquired
+//!    while holding A *and* A acquired while holding B.
+//!
+//! Tracking is deliberately shallow and per-file: only guards bound by
+//! a plain `let` are followed (temporary `lock(&m).field` expressions
+//! drop their guard at the semicolon and are safe by construction),
+//! `cv.wait(g)` consumes the guard it is handed, `drop(g)` releases
+//! it, and block scope ends it. Closure bodies are analyzed with a
+//! fresh guard set — a closure built under a lock usually runs on
+//! another thread, where the guard is not held.
+
+use super::{PassCtx, SourceFile, SYNC_CRATES};
+use crate::ast::{Ast, NodeId, NodeKind, Recv};
+use crate::lexer::Token;
+use crate::report::{Finding, Severity};
+use std::collections::BTreeSet;
+
+/// Methods that block the calling thread while they run.
+const BLOCKING_METHODS: &[&str] = &["send", "recv", "recv_timeout", "accept", "join"];
+
+/// Free/path fns that block: thread sleeps and the simulation entry
+/// points the daemon dispatches to (a cell simulation under a held
+/// lock would stall every other worker).
+const BLOCKING_FNS: &[&str] = &[
+    "sleep",
+    "run_workload_job",
+    "run_batch",
+    "run_batch_cancellable",
+    "run_workload",
+    "run_workload_detailed",
+];
+
+/// Identifier-position keywords that can appear inside argument lists
+/// and must not be mistaken for binding/mutex names.
+fn is_arg_keyword(s: &str) -> bool {
+    matches!(s, "mut" | "move" | "ref" | "box" | "dyn" | "as")
+}
+
+/// A live `let`-bound lock guard.
+struct Guard {
+    /// Binding name (`let mut st = …` → `st`).
+    name: String,
+    /// Best-effort mutex identity for ordering checks (field or
+    /// variable name the `lock()` was called on; empty when unknown).
+    mutex: String,
+}
+
+pub(super) fn run(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    if !SYNC_CRATES.iter().any(|p| src.path.starts_with(p)) {
+        return;
+    }
+    let mut v = Visitor {
+        src,
+        out,
+        pairs: Vec::new(),
+    };
+    let mut live = Vec::new();
+    if !src.ast.nodes.is_empty() {
+        v.visit(0, &mut live);
+    }
+    // Order inversions: (a, b) and (b, a) both recorded in this file.
+    let ordered: BTreeSet<(&str, &str)> = v
+        .pairs
+        .iter()
+        .map(|(a, b, _, _)| (a.as_str(), b.as_str()))
+        .collect();
+    let mut reported: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for (a, b, line, col) in &v.pairs {
+        let key = if a < b {
+            (a.as_str(), b.as_str())
+        } else {
+            (b.as_str(), a.as_str())
+        };
+        if ordered.contains(&(b.as_str(), a.as_str())) && reported.insert(key) {
+            out.push(Finding {
+                pass: "lock-discipline",
+                kind: "lock-order-inversion",
+                file: src.path.clone(),
+                line: *line,
+                col: *col,
+                severity: Severity::Warn,
+                needle: format!("{a}/{b}"),
+                message: format!(
+                    "mutex `{b}` acquired while holding `{a}`, but elsewhere in this \
+                     file they nest the other way — pick one acquisition order"
+                ),
+                justification: None,
+            });
+        }
+    }
+}
+
+struct Visitor<'a, 'o> {
+    src: &'a SourceFile,
+    out: &'o mut Vec<Finding>,
+    /// (held mutex, acquired mutex, line, col) for every acquisition
+    /// under a live guard.
+    pairs: Vec<(String, String, u32, u32)>,
+}
+
+impl Visitor<'_, '_> {
+    fn visit(&mut self, id: NodeId, live: &mut Vec<Guard>) {
+        let node = &self.src.ast.nodes[id];
+        match &node.kind {
+            NodeKind::Fn { .. } | NodeKind::Closure => {
+                // Fresh guard context: a fn body or closure executes
+                // elsewhere / later, not under the caller's guards.
+                let mut inner = Vec::new();
+                for &c in &node.children.clone() {
+                    self.visit(c, &mut inner);
+                }
+            }
+            NodeKind::Block => {
+                let base = live.len();
+                for &c in &node.children.clone() {
+                    self.visit(c, live);
+                }
+                live.truncate(base);
+            }
+            NodeKind::Stmt { let_name, .. } => {
+                let let_name = let_name.clone();
+                for &c in &node.children.clone() {
+                    self.visit(c, live);
+                }
+                if let Some(name) = let_name {
+                    if name != "_" {
+                        if let Some(mutex) = self.lock_in_subtree(id) {
+                            live.push(Guard { name, mutex });
+                        }
+                    }
+                }
+            }
+            NodeKind::MethodCall { name, .. } => {
+                let name = name.clone();
+                if name == "lock" {
+                    self.acquire(id, live);
+                } else if name == "wait" || name == "wait_timeout" {
+                    self.check_wait(id, live);
+                } else if BLOCKING_METHODS.contains(&name.as_str()) {
+                    self.check_blocking(id, &format!(".{name}()"), live);
+                }
+                for &c in &self.src.ast.nodes[id].children.clone() {
+                    self.visit(c, live);
+                }
+            }
+            NodeKind::Call { path } => {
+                let path = path.clone();
+                let last = path.rsplit("::").next().unwrap_or(&path).to_string();
+                if last == "lock" {
+                    self.acquire(id, live);
+                } else if last == "drop" {
+                    if let Some(arg) = self.first_arg_ident(id) {
+                        live.retain(|g| g.name != arg);
+                    }
+                } else if BLOCKING_FNS.contains(&last.as_str()) {
+                    self.check_blocking(id, &format!("{last}()"), live);
+                }
+                for &c in &self.src.ast.nodes[id].children.clone() {
+                    self.visit(c, live);
+                }
+            }
+            _ => {
+                for &c in &node.children.clone() {
+                    self.visit(c, live);
+                }
+            }
+        }
+    }
+
+    /// Records acquisition-order pairs for a lock call made while other
+    /// guards are live.
+    fn acquire(&mut self, id: NodeId, live: &[Guard]) {
+        if self.src.ast.in_test(&self.src.tokens, id) {
+            return;
+        }
+        let Some(mutex) = mutex_name(&self.src.ast, &self.src.tokens, id) else {
+            return;
+        };
+        let t = self.src.ast.first_tok(&self.src.tokens, id);
+        for g in live {
+            if !g.mutex.is_empty() && g.mutex != mutex {
+                self.pairs
+                    .push((g.mutex.clone(), mutex.clone(), t.line, t.col));
+            }
+        }
+    }
+
+    /// Condvar wait: must be inside a loop; consumes the guard it is
+    /// handed; any *other* live guard is held across the block.
+    fn check_wait(&mut self, id: NodeId, live: &mut Vec<Guard>) {
+        if self.src.ast.in_test(&self.src.tokens, id) {
+            return;
+        }
+        let t = self.src.ast.first_tok(&self.src.tokens, id);
+        let (line, col) = (t.line, t.col);
+        if !self.src.scope.in_loop(id) {
+            self.out.push(Finding {
+                pass: "lock-discipline",
+                kind: "wait-outside-loop",
+                file: self.src.path.clone(),
+                line,
+                col,
+                severity: Severity::Error,
+                needle: "wait".to_string(),
+                message: "Condvar wait outside a loop: spurious wakeups are legal, so the \
+                          predicate must be re-checked (`while !pred { g = cv.wait(g)… }`)"
+                    .to_string(),
+                justification: None,
+            });
+        }
+        if let Some(arg) = self.first_arg_ident(id) {
+            live.retain(|g| g.name != arg);
+        }
+        self.check_blocking(id, ".wait()", live);
+    }
+
+    /// Emits guard-across-blocking-call for every live guard.
+    fn check_blocking(&mut self, id: NodeId, what: &str, live: &[Guard]) {
+        if live.is_empty() || self.src.ast.in_test(&self.src.tokens, id) {
+            return;
+        }
+        let t = self.src.ast.first_tok(&self.src.tokens, id);
+        let names: Vec<&str> = live.iter().map(|g| g.name.as_str()).collect();
+        self.out.push(Finding {
+            pass: "lock-discipline",
+            kind: "guard-across-blocking-call",
+            file: self.src.path.clone(),
+            line: t.line,
+            col: t.col,
+            severity: Severity::Error,
+            needle: what
+                .trim_matches(|c| c == '.' || c == '(' || c == ')')
+                .to_string(),
+            message: format!(
+                "lock guard{} `{}` held across blocking {what}; drop the guard (end its \
+                 block or call drop()) before blocking",
+                if names.len() > 1 { "s" } else { "" },
+                names.join("`, `"),
+            ),
+            justification: None,
+        });
+    }
+
+    /// Finds a lock call in `id`'s subtree and returns its mutex name.
+    fn lock_in_subtree(&self, id: NodeId) -> Option<String> {
+        let node = &self.src.ast.nodes[id];
+        let is_lock = match &node.kind {
+            NodeKind::MethodCall { name, .. } => name == "lock",
+            NodeKind::Call { path } => path.rsplit("::").next() == Some("lock"),
+            // Do not look inside nested closures: their locks run later.
+            NodeKind::Closure | NodeKind::Fn { .. } => return None,
+            _ => false,
+        };
+        if is_lock {
+            return Some(mutex_name(&self.src.ast, &self.src.tokens, id).unwrap_or_default());
+        }
+        node.children.iter().find_map(|&c| self.lock_in_subtree(c))
+    }
+
+    /// First argument of a call node when it is a bare identifier.
+    fn first_arg_ident(&self, id: NodeId) -> Option<String> {
+        let node = &self.src.ast.nodes[id];
+        let mut s = node.first;
+        // Scan to the opening paren of the argument list.
+        while s <= node.last {
+            if self.src.ast.tok(&self.src.tokens, s).is_punct('(') {
+                let arg = self.src.ast.tok(&self.src.tokens, s + 1);
+                return (arg.kind == crate::lexer::TokKind::Ident && !is_arg_keyword(&arg.text))
+                    .then(|| arg.text.clone());
+            }
+            s += 1;
+        }
+        None
+    }
+}
+
+/// Best-effort mutex identity for a lock call: the field/variable name
+/// the guard protects. `shared.slots.lock()` → `slots`;
+/// `lock(&self.stripes[i])` → `stripes`; `m.lock()` → `m`.
+fn mutex_name(ast: &Ast, tokens: &[Token], id: NodeId) -> Option<String> {
+    let node = &ast.nodes[id];
+    match &node.kind {
+        NodeKind::MethodCall { recv, .. } => match recv {
+            Recv::Tail(t) => Some(t.clone()),
+            Recv::SelfDot => Some("self".to_string()),
+            Recv::Chain => None,
+        },
+        NodeKind::Call { .. } => {
+            // Last plain ident inside the argument list, stopping at an
+            // index expression (`stripes[i]` → `stripes`).
+            let mut best = None;
+            let mut in_args = false;
+            for s in node.first..=node.last {
+                let t = ast.tok(tokens, s);
+                if !in_args {
+                    in_args = t.is_punct('(');
+                    continue;
+                }
+                if t.is_punct('[') || t.is_punct(')') {
+                    break;
+                }
+                if t.kind == crate::lexer::TokKind::Ident && !is_arg_keyword(&t.text) {
+                    best = Some(t.text.clone());
+                }
+            }
+            best
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::testutil::run_pass;
+
+    #[test]
+    fn wait_must_be_loop_rechecked() {
+        let bad = "fn f(m: &Mutex<bool>, cv: &Condvar) {\n  \
+                   let g = m.lock().unwrap();\n  let _g2 = cv.wait(g).unwrap();\n}";
+        let hits = run_pass("lock-discipline", "crates/serve/src/scheduler.rs", bad, "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].kind, "wait-outside-loop");
+
+        let good = "fn f(m: &Mutex<bool>, cv: &Condvar) {\n  \
+                    let mut g = m.lock().unwrap();\n  \
+                    while !*g { g = cv.wait(g).unwrap(); }\n}";
+        let hits = run_pass("lock-discipline", "crates/serve/src/scheduler.rs", good, "");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn guard_held_across_blocking_send_is_flagged() {
+        let bad = "fn f(m: &Mutex<u8>, tx: &Sender<u8>) {\n  \
+                   let st = m.lock().unwrap();\n  tx.send(*st).unwrap();\n}";
+        let hits = run_pass("lock-discipline", "crates/exec/src/lib.rs", bad, "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].kind, "guard-across-blocking-call");
+        assert!(hits[0].message.contains("`st`"));
+
+        // Dropping the guard first is fine, and so is a temporary.
+        let good = "fn f(m: &Mutex<u8>, tx: &Sender<u8>) {\n  \
+                    let st = m.lock().unwrap();\n  let v = *st;\n  drop(st);\n  \
+                    tx.send(v).unwrap();\n  tx.send(*m.lock().unwrap()).unwrap();\n}";
+        let hits = run_pass("lock-discipline", "crates/exec/src/lib.rs", good, "");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn guard_scope_ends_with_its_block_and_closures_reset_context() {
+        let good = "fn f(m: &Mutex<u8>, tx: &Sender<u8>) {\n  \
+                    { let st = m.lock().unwrap(); touch(*st); }\n  tx.send(1).unwrap();\n  \
+                    let st = m.lock().unwrap();\n  \
+                    spawn(move || { tx.send(9).unwrap(); });\n  touch(*st);\n}";
+        let hits = run_pass("lock-discipline", "crates/serve/src/lib.rs", good, "");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn simulation_call_under_guard_is_flagged() {
+        let bad = "fn f(m: &Mutex<u8>) {\n  let st = m.lock().unwrap();\n  \
+                   let (stats, dists) = run_workload_job(cfg(*st), p(), 1, 2);\n  drop(stats);\n}";
+        let hits = run_pass("lock-discipline", "crates/serve/src/scheduler.rs", bad, "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].kind, "guard-across-blocking-call");
+    }
+
+    #[test]
+    fn inconsistent_acquisition_order_is_flagged_once() {
+        let bad = "fn a(s: &S) { let g1 = s.slots.lock().unwrap(); \
+                   let g2 = s.journal.lock().unwrap(); use2(g1, g2); }\n\
+                   fn b(s: &S) { let g2 = s.journal.lock().unwrap(); \
+                   let g1 = s.slots.lock().unwrap(); use2(g1, g2); }";
+        let hits = run_pass("lock-discipline", "crates/serve/src/scheduler.rs", bad, "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].kind, "lock-order-inversion");
+        assert_eq!(hits[0].needle, "slots/journal");
+
+        let good = "fn a(s: &S) { let g1 = s.slots.lock().unwrap(); \
+                    let g2 = s.journal.lock().unwrap(); use2(g1, g2); }\n\
+                    fn b(s: &S) { let g1 = s.slots.lock().unwrap(); \
+                    let g2 = s.journal.lock().unwrap(); use2(g1, g2); }";
+        let hits = run_pass("lock-discipline", "crates/serve/src/scheduler.rs", good, "");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn lock_helper_fn_and_wait_consumption_match_the_executor_idiom() {
+        // The exec crate's `lock(&m)` helper + re-binding wait loop.
+        let good = "fn take(p: &Pool) -> u8 {\n  let mut st = lock(&p.state);\n  \
+                    while st.queue.is_empty() { st = p.work_cv.wait(st).unwrap_or_else(|e| e.into_inner()); }\n  \
+                    st.queue.pop().unwrap()\n}";
+        let hits = run_pass("lock-discipline", "crates/exec/src/lib.rs", good, "");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn pass_only_covers_sync_crates() {
+        let bad = "fn f(m: &Mutex<bool>, cv: &Condvar) {\n  \
+                   let g = m.lock().unwrap();\n  let _g2 = cv.wait(g).unwrap();\n}";
+        assert!(run_pass("lock-discipline", "crates/core/src/sim.rs", bad, "").is_empty());
+    }
+}

@@ -1,0 +1,392 @@
+//! The pass registry: eight named passes over lexed + parsed sources.
+//!
+//! Each pass is a pure function from one source file (token stream,
+//! syntax tree, and scope tables) to findings; scoping (which files a
+//! pass examines) lives in the pass itself so the driver stays a dumb
+//! loop. All passes skip `#[cfg(test)]` / `#[test]` regions except
+//! `unsafe-forbid`, which covers test code too — an `unsafe` block is a
+//! soundness question no matter where it sits.
+//!
+//! The token-level passes (`determinism`, `atomics`, `unsafe-forbid`,
+//! `schema-drift`) scan the stream directly; the syntax-aware passes
+//! (`panic-audit`'s index note, `hot-alloc`, `lock-discipline`,
+//! `result-drop`) walk the [`crate::ast`] tree with
+//! [`crate::scope::ScopeInfo`] answering "inside a loop?" /
+//! "which fn?" / "guard live?" questions.
+
+mod atomics;
+mod determinism;
+mod hot_alloc;
+mod lock_discipline;
+mod panic_audit;
+mod result_drop;
+mod schema_drift;
+mod unsafe_forbid;
+
+use crate::ast::{self, Ast};
+use crate::lexer::{self, TokKind, Token};
+use crate::report::{Finding, Severity};
+use crate::scope::ScopeInfo;
+
+/// Shared context passed to every pass.
+pub struct PassCtx {
+    /// Contents of `docs/METRICS.md` (empty when missing, which makes
+    /// every emitted key a finding — the doc is part of the contract).
+    pub metrics_doc: String,
+    /// Contents of `docs/SERVE.md` — the wire-protocol contract. Keys
+    /// emitted by the serve daemon and its client codec may be
+    /// documented here instead of in `docs/METRICS.md`.
+    pub serve_doc: String,
+}
+
+/// One source file: lexed, parsed, and scope-analyzed.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Token stream from [`crate::lexer::lex`].
+    pub tokens: Vec<Token>,
+    /// Syntax tree from [`crate::ast::parse`].
+    pub ast: Ast,
+    /// Scope tables over `ast`.
+    pub scope: ScopeInfo,
+}
+
+impl SourceFile {
+    /// Lexes, parses, and scope-analyzes `text` in one step.
+    pub fn new(path: impl Into<String>, text: &str) -> SourceFile {
+        let tokens = lexer::lex(text);
+        let ast = ast::parse(&tokens);
+        let scope = ScopeInfo::build(&ast);
+        SourceFile {
+            path: path.into(),
+            tokens,
+            ast,
+            scope,
+        }
+    }
+}
+
+/// A registered pass.
+pub struct Pass {
+    /// Stable id used in diagnostics and allowlist entries.
+    pub id: &'static str,
+    /// One-line description for `--list-passes`.
+    pub description: &'static str,
+    /// The pass body.
+    pub run: fn(&PassCtx, &SourceFile, &mut Vec<Finding>),
+}
+
+/// All passes, in fixed registry order.
+pub fn registry() -> Vec<Pass> {
+    vec![
+        Pass {
+            id: "determinism",
+            description: "flags wall-clock reads, hash-order iteration, thread ids, and \
+                          un-seeded randomness in result-affecting crates",
+            run: determinism::run,
+        },
+        Pass {
+            id: "atomics",
+            description: "flags Ordering::Relaxed on executor/daemon/telemetry atomics \
+                          (cross-thread hand-off needs Acquire/Release)",
+            run: atomics::run,
+        },
+        Pass {
+            id: "panic-audit",
+            description: "flags unwrap/expect/panic! and indexing-in-loop in the hot-path \
+                          modules",
+            run: panic_audit::run,
+        },
+        Pass {
+            id: "unsafe-forbid",
+            description: "locks in the zero-unsafe invariant: any `unsafe` needs a SAFETY \
+                          comment and an allowlist entry",
+            run: unsafe_forbid::run,
+        },
+        Pass {
+            id: "schema-drift",
+            description: "cross-checks emitted JSON keys against docs/METRICS.md",
+            run: schema_drift::run,
+        },
+        Pass {
+            id: "hot-alloc",
+            description: "flags heap allocation reachable inside loops in the hot-path \
+                          modules (the allocation-free steady-state burn-down list)",
+            run: hot_alloc::run,
+        },
+        Pass {
+            id: "lock-discipline",
+            description: "checks Condvar waits are loop-re-checked, no lock guard is held \
+                          across blocking calls, and mutex acquisition order is consistent",
+            run: lock_discipline::run,
+        },
+        Pass {
+            id: "result-drop",
+            description: "flags semicolon-discarded or `let _ =`-bound Result-returning \
+                          calls in non-test code",
+            run: result_drop::run,
+        },
+    ]
+}
+
+/// Every diagnostic kind a pass can emit, as `(pass, kind,
+/// description)`. This is the machine-readable half of the
+/// diagnostic-kind table in `docs/METRICS.md` (Document 5);
+/// `tests/lint_doc.rs` keeps the two in sync.
+pub const KINDS: &[(&str, &str, &str)] = &[
+    (
+        "determinism",
+        "hash-order",
+        "HashMap/HashSet iteration order varies across runs",
+    ),
+    (
+        "determinism",
+        "wall-clock",
+        "Instant/SystemTime read in result-affecting code",
+    ),
+    (
+        "determinism",
+        "thread-id",
+        "thread::current leaks scheduler identity into results",
+    ),
+    (
+        "determinism",
+        "unseeded-rng",
+        "randomness not constructed from an explicit seed",
+    ),
+    (
+        "atomics",
+        "relaxed-ordering",
+        "Ordering::Relaxed on a cross-thread atomic",
+    ),
+    (
+        "panic-audit",
+        "panic-site",
+        "unwrap/expect/panic!-family call on the hot path",
+    ),
+    (
+        "panic-audit",
+        "index-in-loop",
+        "bounds-checked indexing inside a loop (advisory)",
+    ),
+    (
+        "unsafe-forbid",
+        "unsafe-block",
+        "unsafe with a SAFETY comment but no allowlist entry",
+    ),
+    (
+        "unsafe-forbid",
+        "unsafe-missing-safety-comment",
+        "unsafe without an immediately preceding SAFETY comment",
+    ),
+    (
+        "schema-drift",
+        "undocumented-key",
+        "emitted JSON key absent from the schema docs",
+    ),
+    (
+        "hot-alloc",
+        "alloc-in-loop",
+        "allocating construct executed inside a loop",
+    ),
+    (
+        "hot-alloc",
+        "alloc-in-hot-fn",
+        "allocating construct in a fn called from inside a loop",
+    ),
+    (
+        "lock-discipline",
+        "wait-outside-loop",
+        "Condvar wait whose predicate is not re-checked in a loop",
+    ),
+    (
+        "lock-discipline",
+        "guard-across-blocking-call",
+        "lock guard live across a blocking channel/thread/simulation call",
+    ),
+    (
+        "lock-discipline",
+        "lock-order-inversion",
+        "two mutexes acquired in both orders within one file",
+    ),
+    (
+        "result-drop",
+        "discarded-result",
+        "Result-returning call discarded with a bare semicolon",
+    ),
+    (
+        "result-drop",
+        "underscore-bound-result",
+        "Result-returning call bound to `let _ =`",
+    ),
+    (
+        "allowlist",
+        "missing-justification",
+        "allowlist entry with an empty justification column",
+    ),
+    (
+        "allowlist",
+        "stale-entry",
+        "allowlist entry no claimed finding matches",
+    ),
+];
+
+/// Crates whose code affects simulation *results* (as opposed to
+/// timing-only telemetry): anything here must be bit-deterministic.
+pub(crate) const RESULT_CRATES: &[&str] = &[
+    "crates/core/src/",
+    "crates/bpred/src/",
+    "crates/mem/src/",
+    "crates/program/src/",
+    "crates/harness/src/",
+    "crates/prefetch/src/",
+    "crates/types/src/",
+    "crates/serve/src/",
+    "crates/fuzz/src/",
+    // The observability plane never touches results, but it runs inside
+    // the daemon process; covering it confines every wall-clock read to
+    // its allowlisted `clock` module.
+    "crates/obs/src/",
+];
+
+/// Crates with cross-thread coordination: the `atomics` and
+/// `lock-discipline` passes cover the executor, the sweep daemon, and
+/// the observability plane's lock-free handles.
+pub(crate) const SYNC_CRATES: &[&str] =
+    &["crates/exec/src/", "crates/serve/src/", "crates/obs/src/"];
+
+/// Files allowed to document their emitted keys in `docs/SERVE.md`
+/// (the wire-protocol spec) instead of `docs/METRICS.md`: the serve
+/// daemon and the client-side codec in the harness.
+pub(crate) fn uses_serve_doc(path: &str) -> bool {
+    path.starts_with("crates/serve/src/") || path == "crates/harness/src/remote.rs"
+}
+
+/// Hot-path modules where a panic, a missed bound, or a heap
+/// allocation costs correctness or throughput on every simulated
+/// cycle. `hot-alloc` additionally covers all of `crates/bpred/src/`.
+pub(crate) const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/sim.rs",
+    "crates/core/src/meta.rs",
+    "crates/core/src/probe.rs",
+    "crates/mem/src/cache.rs",
+    "crates/mem/src/table.rs",
+];
+
+/// Indices of non-comment tokens, the scanning view every pass uses.
+pub(crate) fn significant(tokens: &[Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokKind::Comment)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Does `sig[s..]` start with the path `first::second`?
+pub(crate) fn path_pair(
+    tokens: &[Token],
+    sig: &[usize],
+    s: usize,
+    first: &str,
+    second: &str,
+) -> bool {
+    tokens[sig[s]].is_ident(first)
+        && s + 3 < sig.len()
+        && tokens[sig[s + 1]].is_punct(':')
+        && tokens[sig[s + 2]].is_punct(':')
+        && tokens[sig[s + 3]].is_ident(second)
+}
+
+pub(crate) fn finding(
+    pass: &'static str,
+    kind: &'static str,
+    file: &str,
+    t: &Token,
+    severity: Severity,
+    needle: &str,
+    message: String,
+) -> Finding {
+    Finding {
+        pass,
+        kind,
+        file: file.to_string(),
+        line: t.line,
+        col: t.col,
+        severity,
+        needle: needle.to_string(),
+        message,
+        justification: None,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    pub(crate) fn run_pass(id: &str, path: &str, code: &str, doc: &str) -> Vec<Finding> {
+        run_pass_with_serve(id, path, code, doc, "")
+    }
+
+    pub(crate) fn run_pass_with_serve(
+        id: &str,
+        path: &str,
+        code: &str,
+        doc: &str,
+        serve_doc: &str,
+    ) -> Vec<Finding> {
+        let ctx = PassCtx {
+            metrics_doc: doc.to_string(),
+            serve_doc: serve_doc.to_string(),
+        };
+        let src = SourceFile::new(path, code);
+        src.ast.validate().expect("fixture parses cleanly");
+        let pass = registry()
+            .into_iter()
+            .find(|p| p.id == id)
+            .expect("pass registered");
+        let mut out = Vec::new();
+        (pass.run)(&ctx, &src, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_eight_documented_passes() {
+        let ids: Vec<&str> = registry().iter().map(|p| p.id).collect();
+        assert_eq!(
+            ids,
+            [
+                "determinism",
+                "atomics",
+                "panic-audit",
+                "unsafe-forbid",
+                "schema-drift",
+                "hot-alloc",
+                "lock-discipline",
+                "result-drop"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_kind_belongs_to_a_registered_pass_or_the_allowlist() {
+        let ids: Vec<&str> = registry().iter().map(|p| p.id).collect();
+        for (pass, kind, desc) in KINDS {
+            assert!(
+                ids.contains(pass) || *pass == "allowlist",
+                "kind {kind} references unknown pass {pass}"
+            );
+            assert!(!desc.is_empty(), "kind {kind} needs a description");
+        }
+        // Kinds are unique per (pass, kind).
+        let mut seen = std::collections::BTreeSet::new();
+        for (pass, kind, _) in KINDS {
+            assert!(seen.insert((pass, kind)), "duplicate kind {pass}/{kind}");
+        }
+    }
+}

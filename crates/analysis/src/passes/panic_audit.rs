@@ -1,0 +1,136 @@
+//! Pass 3: panic sites and loop indexing in the hot-path modules.
+//!
+//! Panic sites (`unwrap`/`expect`/`panic!`-family) are found on the
+//! token stream; the indexing-in-loop note walks the syntax tree so
+//! the loop test uses real structure — `for` headers (which run once)
+//! no longer count, closure bodies inside loops do.
+
+use super::{finding, significant, PassCtx, SourceFile, HOT_PATH_FILES};
+use crate::ast::NodeKind;
+use crate::lexer::TokKind;
+use crate::report::{Finding, Severity};
+
+pub(super) fn run(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    if !HOT_PATH_FILES.contains(&src.path.as_str()) {
+        return;
+    }
+    let sig = significant(&src.tokens);
+    for (s, &i) in sig.iter().enumerate() {
+        let t = &src.tokens[i];
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = s.checked_sub(1).map(|p| &src.tokens[sig[p]]);
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev.is_some_and(|p| p.is_punct('.')) => {
+                out.push(finding(
+                    "panic-audit",
+                    "panic-site",
+                    &src.path,
+                    t,
+                    Severity::Error,
+                    &t.text,
+                    format!(
+                        ".{}() can panic on the hot path; restructure to an infallible \
+                         pattern (let-else / if-let) or allowlist with justification",
+                        t.text
+                    ),
+                ));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if sig.get(s + 1).is_some_and(|&n| src.tokens[n].is_punct('!')) =>
+            {
+                out.push(finding(
+                    "panic-audit",
+                    "panic-site",
+                    &src.path,
+                    t,
+                    Severity::Error,
+                    &format!("{}!", t.text),
+                    format!(
+                        "{}! aborts the simulation from the hot path; return a \
+                         recoverable state or allowlist with justification",
+                        t.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    // Index expressions inside loops, on the tree: an `Index` node is
+    // only created after a primary expression, so array literals,
+    // attributes, types, and slice patterns never reach here.
+    for id in src.ast.walk() {
+        if !matches!(src.ast.nodes[id].kind, NodeKind::Index) {
+            continue;
+        }
+        if src.ast.in_test(&src.tokens, id) || !src.scope.in_loop(id) {
+            continue;
+        }
+        out.push(finding(
+            "panic-audit",
+            "index-in-loop",
+            &src.path,
+            src.ast.first_tok(&src.tokens, id),
+            Severity::Note,
+            "index",
+            "bounds-checked indexing inside a loop; prefer iterators or prove \
+             the bound once outside the loop (advisory)"
+                .to_string(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::testutil::run_pass;
+    use crate::report::Severity;
+
+    #[test]
+    fn panic_audit_flags_method_panics_and_macros() {
+        let code = "fn f(x: Option<u8>) -> u8 {\n  let a = x.unwrap();\n  \
+                    let b = x.expect(\"present\");\n  if a > b { panic!(\"no\"); }\n  \
+                    match a { 0 => unreachable!(), _ => a }\n}";
+        let hits = run_pass("panic-audit", "crates/core/src/sim.rs", code, "");
+        let needles: Vec<&str> = hits.iter().map(|f| f.needle.as_str()).collect();
+        assert_eq!(needles, ["unwrap", "expect", "panic!", "unreachable!"]);
+        assert!(hits.iter().all(|f| f.severity == Severity::Error));
+        assert!(hits.iter().all(|f| f.kind == "panic-site"));
+        // Same code in a non-hot-path file: out of scope.
+        assert!(run_pass("panic-audit", "crates/core/src/config.rs", code, "").is_empty());
+    }
+
+    #[test]
+    fn panic_audit_does_not_flag_definitions_or_tests() {
+        let code = "impl Foo {\n  pub fn unwrap(self) -> u8 { self.0 }\n  \
+                    pub fn expect(self, _m: &str) -> u8 { self.0 }\n}\n\
+                    #[cfg(test)]\nmod tests { fn t() { Some(1).unwrap(); } }";
+        assert!(run_pass("panic-audit", "crates/core/src/sim.rs", code, "").is_empty());
+    }
+
+    #[test]
+    fn panic_audit_notes_indexing_only_inside_loops() {
+        let code = "fn f(v: &[u8]) -> u8 {\n  let head = v[0];\n  \
+                    let mut acc = 0;\n  for i in 0..v.len() { acc += v[i]; }\n  \
+                    acc + head\n}";
+        let hits = run_pass("panic-audit", "crates/core/src/sim.rs", code, "");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Note);
+        assert_eq!(hits[0].needle, "index");
+        assert_eq!(hits[0].kind, "index-in-loop");
+        assert_eq!(hits[0].line, 4);
+    }
+
+    #[test]
+    fn index_note_respects_for_headers_and_closures() {
+        // Indexing in a `for` header runs once — no note; indexing in a
+        // closure body inside the loop runs every iteration — note.
+        let code = "fn f(v: &[u8], idx: &[usize]) -> usize {\n  \
+                    for i in 0..idx[0] { v.iter().map(|x| idx[*x as usize]).count(); }\n  0\n}";
+        let hits = run_pass("panic-audit", "crates/core/src/sim.rs", code, "");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].kind, "index-in-loop");
+        // The surviving note is the closure-body index, not the header.
+        assert!(hits[0].col > 30, "{hits:?}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Pass 8: discarded `Result`s in non-test code.
+//!
+//! Two shapes are flagged:
+//!
+//! * **discarded-result** — a statement that is just a
+//!   `Result`-returning call ended with `;` (`tx.send(x);`) — the
+//!   error silently vanishes;
+//! * **underscore-bound-result** — the explicit shrug
+//!   (`let _ = tx.send(x);`) — tolerated only with an allowlist
+//!   justification saying *why* the error is ignorable.
+//!
+//! Result-ness is resolved two ways: fns defined in the same file with
+//! a `-> Result<…>` return type, and a fixed list of std fallible
+//! calls (channel send/recv, thread join, filesystem, I/O flush).
+//! `call()?;` and `let r = call();` are never flagged — the `?`
+//! propagates and the binding keeps the value alive for handling.
+
+use super::{PassCtx, SourceFile};
+use crate::ast::{Ast, NodeId, NodeKind};
+use crate::report::{Finding, Severity};
+use std::collections::BTreeSet;
+
+/// Std-library calls that return `Result` and are commonly "fired and
+/// forgotten". Matched against method names and path tails.
+const BUILTIN_RESULT_CALLS: &[&str] = &[
+    "send",
+    "try_send",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "join",
+    "connect",
+    "accept",
+    "fetch_update",
+    "write_all",
+    "flush",
+    "create_dir_all",
+    "remove_dir_all",
+    "remove_file",
+    "rename",
+    "set_nonblocking",
+    "shutdown",
+];
+
+pub(super) fn run(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    let in_crate_src = src.path.starts_with("crates/") && src.path.contains("/src/");
+    if !(in_crate_src || src.path.starts_with("src/")) || src.path.starts_with("vendor/") {
+        return;
+    }
+    // Fns defined in this file with `-> Result<…>`.
+    let local_result_fns: BTreeSet<&str> = src
+        .ast
+        .walk()
+        .filter_map(|id| match &src.ast.nodes[id].kind {
+            NodeKind::Fn {
+                name,
+                returns_result: true,
+            } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    for id in src.ast.walk() {
+        let NodeKind::Stmt {
+            let_name,
+            discard_eligible,
+        } = &src.ast.nodes[id].kind
+        else {
+            continue;
+        };
+        let kind = if let_name.as_deref() == Some("_") {
+            "underscore-bound-result"
+        } else if *discard_eligible {
+            "discarded-result"
+        } else {
+            continue;
+        };
+        if src.ast.in_test(&src.tokens, id) {
+            continue;
+        }
+        let Some(call) = final_call(&src.ast, id) else {
+            continue;
+        };
+        // A local `-> Result` fn resolves only through a bare or
+        // `Self::`-qualified path: `std::thread::spawn(..)` (returning a
+        // JoinHandle) must not match a local `Server::spawn -> Result`.
+        let (callee, local_ok) = match &src.ast.nodes[call].kind {
+            NodeKind::MethodCall { name, .. } => (name.as_str(), true),
+            NodeKind::Call { path } => match path.rsplit_once("::") {
+                None => (path.as_str(), true),
+                Some(("Self", tail)) => (tail, true),
+                Some((_, tail)) => (tail, false),
+            },
+            _ => unreachable!("final_call returns calls only"),
+        };
+        if !(BUILTIN_RESULT_CALLS.contains(&callee)
+            || (local_ok && local_result_fns.contains(callee)))
+        {
+            continue;
+        }
+        let t = src.ast.first_tok(&src.tokens, id);
+        let how = if kind == "underscore-bound-result" {
+            "bound to `let _ =`"
+        } else {
+            "discarded with `;`"
+        };
+        out.push(Finding {
+            pass: "result-drop",
+            kind,
+            file: src.path.clone(),
+            line: t.line,
+            col: t.col,
+            severity: Severity::Warn,
+            needle: callee.to_string(),
+            message: format!(
+                "Result of `{callee}` {how}; handle the error, propagate with `?`, or \
+                 allowlist with a justification for why it is ignorable"
+            ),
+            justification: None,
+        });
+    }
+}
+
+/// The call node whose value the statement discards: a `Call` or
+/// `MethodCall` ending right before the statement's `;`. A trailing
+/// `?`, `.ok()`, or any other token in between means the value was
+/// handled (or transformed) and the statement is not a bare discard.
+fn final_call(ast: &Ast, stmt: NodeId) -> Option<NodeId> {
+    let end = ast.nodes[stmt].last.checked_sub(1)?;
+    fn search(ast: &Ast, id: NodeId, end: usize) -> Option<NodeId> {
+        let node = &ast.nodes[id];
+        if node.last == end
+            && matches!(
+                node.kind,
+                NodeKind::Call { .. } | NodeKind::MethodCall { .. }
+            )
+        {
+            return Some(id);
+        }
+        node.children.iter().find_map(|&c| search(ast, c, end))
+    }
+    ast.nodes[stmt]
+        .children
+        .iter()
+        .find_map(|&c| search(ast, c, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::testutil::run_pass;
+
+    #[test]
+    fn discarded_and_underscore_bound_results_are_flagged() {
+        let code = "fn f(tx: &Sender<u8>) {\n  tx.send(1);\n  let _ = tx.send(2);\n}";
+        let hits = run_pass("result-drop", "crates/serve/src/lib.rs", code, "");
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].kind, "discarded-result");
+        assert_eq!(hits[1].kind, "underscore-bound-result");
+        assert!(hits.iter().all(|f| f.needle == "send"));
+    }
+
+    #[test]
+    fn handled_results_are_not_flagged() {
+        let code = "fn f(tx: &Sender<u8>) -> Result<(), SendError<u8>> {\n  \
+                    tx.send(1)?;\n  let r = tx.send(2);\n  r.map_err(|e| e)?;\n  \
+                    tx.send(3).ok();\n  if tx.send(4).is_err() { }\n  Ok(())\n}";
+        let hits = run_pass("result-drop", "crates/serve/src/lib.rs", code, "");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn local_result_fns_are_resolved_by_signature() {
+        let code = "fn fallible() -> Result<u8, Error> { Ok(1) }\n\
+                    fn safe() -> u8 { 1 }\n\
+                    fn f() {\n  fallible();\n  safe();\n  let _ = fallible();\n}";
+        let hits = run_pass("result-drop", "crates/obs/src/log.rs", code, "");
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().all(|f| f.needle == "fallible"));
+    }
+
+    #[test]
+    fn foreign_paths_do_not_resolve_to_local_result_fns() {
+        let code = "fn spawn() -> Result<u8, Error> { Ok(1) }\n\
+                    fn f() {\n  std::thread::spawn(work);\n  spawn();\n  Self::spawn();\n}";
+        let hits = run_pass("result-drop", "crates/serve/src/lib.rs", code, "");
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().all(|f| f.needle == "spawn"));
+        assert!(hits.iter().all(|f| f.line >= 4), "{hits:?}");
+    }
+
+    #[test]
+    fn compound_assignments_and_test_code_are_exempt() {
+        let code = "fn f(tx: &Sender<u8>, acc: &mut u8) {\n  *acc += helper();\n}\n\
+                    fn helper() -> u8 { 1 }\n\
+                    #[cfg(test)]\nmod tests {\n  fn t(tx: &Sender<u8>) { tx.send(1); let _ = tx.send(2); }\n}";
+        let hits = run_pass("result-drop", "crates/serve/src/scheduler.rs", code, "");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn scope_is_crate_sources_not_vendor() {
+        let code = "fn f(tx: &Sender<u8>) { tx.send(1); }";
+        assert_eq!(
+            run_pass("result-drop", "crates/exec/src/lib.rs", code, "").len(),
+            1
+        );
+        assert!(run_pass("result-drop", "vendor/x/src/lib.rs", code, "").is_empty());
+        assert!(run_pass("result-drop", "tests/properties.rs", code, "").is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Pass 5: emitted JSON keys (`.with("k", …)` / `.set("k", …)`) must be
+//! documented — appear in backticks — in `docs/METRICS.md`.
+
+use super::{finding, significant, uses_serve_doc, PassCtx, SourceFile};
+use crate::lexer::TokKind;
+use crate::report::{Finding, Severity};
+
+pub(super) fn run(ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    let in_crate_src = src.path.starts_with("crates/") && src.path.contains("/src/");
+    if !(in_crate_src || src.path.starts_with("src/")) || src.path.starts_with("vendor/") {
+        return;
+    }
+    let sig = significant(&src.tokens);
+    for s in 0..sig.len() {
+        let t = &src.tokens[sig[s]];
+        if t.in_test || !t.is_punct('.') {
+            continue;
+        }
+        let Some(&m) = sig.get(s + 1) else { continue };
+        let method = &src.tokens[m];
+        if !(method.is_ident("with") || method.is_ident("set")) {
+            continue;
+        }
+        let Some(&p) = sig.get(s + 2) else { continue };
+        if !src.tokens[p].is_punct('(') {
+            continue;
+        }
+        let Some(&k) = sig.get(s + 3) else { continue };
+        let key = &src.tokens[k];
+        if key.kind != TokKind::Str || key.text.is_empty() {
+            continue;
+        }
+        let needle = format!("`{}`", key.text);
+        let documented = ctx.metrics_doc.contains(&needle)
+            || (uses_serve_doc(&src.path) && ctx.serve_doc.contains(&needle));
+        if !documented {
+            let where_ = if uses_serve_doc(&src.path) {
+                "docs/METRICS.md or docs/SERVE.md"
+            } else {
+                "docs/METRICS.md"
+            };
+            out.push(finding(
+                "schema-drift",
+                "undocumented-key",
+                &src.path,
+                key,
+                Severity::Error,
+                &key.text,
+                format!(
+                    "emitted JSON key \"{}\" is not documented in {where_} — \
+                     document it (and bump schema_version on renames)",
+                    key.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::testutil::{run_pass, run_pass_with_serve};
+
+    #[test]
+    fn schema_drift_checks_keys_against_the_doc() {
+        let code = "fn j() -> Json { Json::obj().with(\"ipc\", 1.0).with(\"bogus_key\", 2.0) }";
+        let doc = "| `ipc` | instructions per cycle |";
+        let hits = run_pass("schema-drift", "crates/core/src/stats.rs", code, doc);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].needle, "bogus_key");
+        assert_eq!(hits[0].kind, "undocumented-key");
+        // Dynamic keys (non-literal first argument) are skipped.
+        let dynamic = "fn j(k: &str) -> Json { Json::obj().with(k, 1.0) }";
+        assert!(run_pass("schema-drift", "crates/core/src/stats.rs", dynamic, doc).is_empty());
+        // Vendored stand-ins and test code are out of scope.
+        assert!(run_pass("schema-drift", "vendor/criterion/src/lib.rs", code, doc).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { Json::obj().with(\"zzz\", 1); } }";
+        assert!(run_pass("schema-drift", "crates/telemetry/src/json.rs", in_test, doc).is_empty());
+    }
+
+    #[test]
+    fn schema_drift_lets_serve_code_document_keys_in_serve_md() {
+        let code = "fn j() -> Json { Json::obj().with(\"grid_id\", 1).with(\"ipc\", 1.0) }";
+        let metrics = "| `ipc` | instructions per cycle |";
+        let serve = "| `grid_id` | content hash of the grid |";
+        // Serve daemon and the harness codec may use either doc.
+        for path in [
+            "crates/serve/src/scheduler.rs",
+            "crates/harness/src/remote.rs",
+        ] {
+            assert!(
+                run_pass_with_serve("schema-drift", path, code, metrics, serve).is_empty(),
+                "{path}"
+            );
+            let hits = run_pass_with_serve("schema-drift", path, code, metrics, "");
+            assert_eq!(hits.len(), 1, "{path}");
+            assert_eq!(hits[0].needle, "grid_id");
+        }
+        // Everything else must still use docs/METRICS.md exclusively.
+        let hits = run_pass_with_serve(
+            "schema-drift",
+            "crates/core/src/stats.rs",
+            code,
+            metrics,
+            serve,
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].needle, "grid_id");
+    }
+}

@@ -1,0 +1,74 @@
+//! Pass 4: the zero-`unsafe` lock-in, everywhere including tests and
+//! vendored stand-ins.
+
+use super::{finding, PassCtx, SourceFile};
+use crate::lexer::TokKind;
+use crate::report::{Finding, Severity};
+
+pub(super) fn run(_ctx: &PassCtx, src: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, t) in src.tokens.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // A `// SAFETY: …` comment must immediately precede the block
+        // (within the previous few tokens, so an attribute or visibility
+        // keyword in between still counts).
+        let has_safety = src.tokens[i.saturating_sub(4)..i]
+            .iter()
+            .any(|p| p.kind == TokKind::Comment && p.text.contains("SAFETY:"));
+        let (kind, needle, message) = if has_safety {
+            (
+                "unsafe-block",
+                "unsafe",
+                "the workspace is unsafe-free; new unsafe requires an allowlist entry \
+                 justifying why safe code cannot express this"
+                    .to_string(),
+            )
+        } else {
+            (
+                "unsafe-missing-safety-comment",
+                "unsafe-missing-safety-comment",
+                "unsafe without an immediately preceding `// SAFETY:` comment; document \
+                 the invariant the block relies on, then allowlist it"
+                    .to_string(),
+            )
+        };
+        out.push(finding(
+            "unsafe-forbid",
+            kind,
+            &src.path,
+            t,
+            Severity::Error,
+            needle,
+            message,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::testutil::run_pass;
+
+    #[test]
+    fn unsafe_forbid_covers_everything_and_distinguishes_safety_comments() {
+        let bare = "fn f() { unsafe { work(); } }";
+        let hits = run_pass("unsafe-forbid", "vendor/rand/src/lib.rs", bare, "");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].needle, "unsafe-missing-safety-comment");
+        assert_eq!(hits[0].kind, "unsafe-missing-safety-comment");
+        let commented = "fn f() {\n  // SAFETY: len checked above\n  unsafe { work(); }\n}";
+        let hits = run_pass("unsafe-forbid", "crates/core/src/sim.rs", commented, "");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].needle, "unsafe");
+        assert_eq!(hits[0].kind, "unsafe-block");
+        // Test code is NOT exempt for this pass.
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { unsafe { work(); } } }";
+        assert_eq!(
+            run_pass("unsafe-forbid", "tests/properties.rs", in_test, "").len(),
+            1
+        );
+        // The word inside a string or comment does not count.
+        let quoted = "// unsafe in prose\nfn f() { let s = \"unsafe\"; }";
+        assert!(run_pass("unsafe-forbid", "src/lib.rs", quoted, "").is_empty());
+    }
+}

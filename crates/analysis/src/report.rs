@@ -1,7 +1,14 @@
 //! Findings, severities, human rendering, and the versioned `lint.json`
 //! document (Document 5 of `docs/METRICS.md`).
 
-use fdip_telemetry::{Json, SCHEMA_VERSION};
+use fdip_telemetry::Json;
+
+/// Version of the `lint.json` document (Document 5 of
+/// `docs/METRICS.md`). Independent of the workspace-wide
+/// `fdip_telemetry::SCHEMA_VERSION`: bumped when the lint document's
+/// shape changes. v2 added per-finding diagnostic `kind`s and made
+/// stale allowlist entries hard errors.
+pub const LINT_SCHEMA_VERSION: u64 = 2;
 
 /// How serious a finding is.
 ///
@@ -36,6 +43,10 @@ pub struct Finding {
     /// Id of the pass that produced it (`determinism`, `atomics`, …, or
     /// `allowlist` for problems with the allowlist file itself).
     pub pass: &'static str,
+    /// Machine-readable diagnostic kind within the pass (e.g.
+    /// `wall-clock`, `alloc-in-loop`); the full table is
+    /// [`crate::passes::KINDS`].
+    pub kind: &'static str,
     /// Workspace-relative path, `/`-separated.
     pub file: String,
     /// 1-based source line.
@@ -131,6 +142,7 @@ impl LintOutcome {
             .map(|f| {
                 let mut j = Json::obj()
                     .with("pass", f.pass)
+                    .with("kind", f.kind)
                     .with("file", f.file.as_str())
                     .with("line", f.line)
                     .with("col", f.col)
@@ -143,23 +155,25 @@ impl LintOutcome {
                 j
             })
             .collect();
-        Json::obj().with("schema_version", SCHEMA_VERSION).with(
-            "lint",
-            Json::obj()
-                .with("tool", "fdip-lint")
-                .with("files_scanned", self.files_scanned)
-                .with("passes", Json::Arr(per_pass))
-                .with("findings", Json::Arr(findings))
-                .with(
-                    "summary",
-                    Json::obj()
-                        .with("errors", self.count(Severity::Error))
-                        .with("warnings", self.count(Severity::Warn))
-                        .with("notes", self.count(Severity::Note))
-                        .with("allowlisted", self.allowlisted())
-                        .with("denied", self.denied().count()),
-                ),
-        )
+        Json::obj()
+            .with("schema_version", LINT_SCHEMA_VERSION)
+            .with(
+                "lint",
+                Json::obj()
+                    .with("tool", "fdip-lint")
+                    .with("files_scanned", self.files_scanned)
+                    .with("passes", Json::Arr(per_pass))
+                    .with("findings", Json::Arr(findings))
+                    .with(
+                        "summary",
+                        Json::obj()
+                            .with("errors", self.count(Severity::Error))
+                            .with("warnings", self.count(Severity::Warn))
+                            .with("notes", self.count(Severity::Note))
+                            .with("allowlisted", self.allowlisted())
+                            .with("denied", self.denied().count()),
+                    ),
+            )
     }
 }
 
@@ -172,6 +186,7 @@ mod tests {
             findings: vec![
                 Finding {
                     pass: "determinism",
+                    kind: "wall-clock",
                     file: "crates/x/src/a.rs".into(),
                     line: 3,
                     col: 9,
@@ -182,6 +197,7 @@ mod tests {
                 },
                 Finding {
                     pass: "determinism",
+                    kind: "hash-order",
                     file: "crates/x/src/a.rs".into(),
                     line: 7,
                     col: 1,
@@ -192,6 +208,7 @@ mod tests {
                 },
                 Finding {
                     pass: "panic-audit",
+                    kind: "index-in-loop",
                     file: "crates/x/src/b.rs".into(),
                     line: 1,
                     col: 2,
@@ -235,8 +252,9 @@ mod tests {
         let j = sample().to_json();
         assert_eq!(
             j.get("schema_version").and_then(Json::as_u64),
-            Some(SCHEMA_VERSION)
+            Some(LINT_SCHEMA_VERSION)
         );
+        const _: () = assert!(LINT_SCHEMA_VERSION >= 2, "v2 added diagnostic kinds");
         let lint = j.get("lint").expect("lint block");
         assert_eq!(lint.get("files_scanned").and_then(Json::as_u64), Some(2));
         let passes = lint.get("passes").and_then(Json::as_arr).unwrap();

@@ -1,0 +1,297 @@
+//! Scope queries over a parsed [`crate::ast::Ast`]: "am I inside a
+//! loop", "which fn encloses this node", and the intra-file hot-function
+//! call graph the `hot-alloc` pass uses for its "reachable from a loop"
+//! semantics.
+//!
+//! Everything is precomputed into plain vectors indexed by [`NodeId`] so
+//! a [`ScopeInfo`] can live inside the per-file `SourceFile` without
+//! borrowing the tree.
+//!
+//! Loop semantics follow execution counts, not syntax: a `for` header
+//! runs once (the iterator is built before the first iteration), so only
+//! the *body* of a `for` counts as inside the loop, while a `while`
+//! header re-executes every iteration and counts along with its body.
+//! Closure bodies inherit the loop context of the closure expression —
+//! a closure built inside a loop is (for lint purposes) called inside
+//! it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Ast, LoopKind, NodeId, NodeKind, Recv};
+
+/// Precomputed scope facts for one file's tree.
+#[derive(Clone, Debug)]
+pub struct ScopeInfo {
+    /// Per node: does it execute inside a loop (any nesting level)?
+    in_loop: Vec<bool>,
+    /// Per node: the innermost enclosing [`NodeKind::Fn`] node, if any.
+    encl_fn: Vec<Option<NodeId>>,
+    /// Fn nodes transitively reachable from an in-loop call site in this
+    /// file (see [`ScopeInfo::in_hot_fn`]).
+    hot_fns: BTreeSet<NodeId>,
+}
+
+impl ScopeInfo {
+    /// Builds the scope tables for `ast`.
+    pub fn build(ast: &Ast) -> ScopeInfo {
+        let n = ast.nodes.len();
+        let mut info = ScopeInfo {
+            in_loop: vec![false; n],
+            encl_fn: vec![None; n],
+            hot_fns: BTreeSet::new(),
+        };
+        if n > 0 {
+            mark(ast, 0, false, None, &mut info);
+        }
+        info.hot_fns = hot_fns(ast, &info);
+        info
+    }
+
+    /// Does `id` execute inside a loop (directly, in this file)?
+    pub fn in_loop(&self, id: NodeId) -> bool {
+        self.in_loop[id]
+    }
+
+    /// The innermost `fn` item containing `id`, if any.
+    pub fn enclosing_fn(&self, id: NodeId) -> Option<NodeId> {
+        self.encl_fn[id]
+    }
+
+    /// Is `id` inside a *hot* fn — one whose name is called (directly or
+    /// transitively through other local fns) from an in-loop call site
+    /// somewhere in this file? This is the `hot-alloc` reachability
+    /// test: code in such a fn runs once per loop iteration even though
+    /// no loop is syntactically visible around it.
+    pub fn in_hot_fn(&self, id: NodeId) -> bool {
+        self.encl_fn[id].is_some_and(|f| self.hot_fns.contains(&f))
+    }
+
+    /// `in_loop || in_hot_fn` — the full "reachable inside a loop" test.
+    pub fn reachable_in_loop(&self, id: NodeId) -> bool {
+        self.in_loop(id) || self.in_hot_fn(id)
+    }
+}
+
+/// Recursive mark pass carrying (in_loop, enclosing fn) down the tree.
+fn mark(ast: &Ast, id: NodeId, in_loop: bool, encl: Option<NodeId>, info: &mut ScopeInfo) {
+    info.in_loop[id] = in_loop;
+    info.encl_fn[id] = encl;
+    let node = &ast.nodes[id];
+    match &node.kind {
+        NodeKind::Fn { .. } => {
+            // A nested fn item's body does not execute where it is
+            // written; its loop context starts fresh.
+            for &c in &node.children {
+                mark(ast, c, false, Some(id), info);
+            }
+        }
+        NodeKind::Loop { kind, body } => {
+            for &c in &node.children {
+                // `for` headers run once; `while`/`loop` headers rerun.
+                let child_in_loop = match kind {
+                    LoopKind::For => in_loop || c == *body,
+                    LoopKind::While | LoopKind::Loop => true,
+                };
+                mark(ast, c, child_in_loop, encl, info);
+            }
+        }
+        _ => {
+            for &c in &node.children {
+                mark(ast, c, in_loop, encl, info);
+            }
+        }
+    }
+}
+
+/// Computes the hot-fn set: seed with every local fn name called from an
+/// in-loop site, then close transitively over "a hot fn's call sites are
+/// themselves loop-reachable". Resolution is by name within the file
+/// (methods and free fns share the namespace — good enough for lint;
+/// same-named fns on two impls merge conservatively).
+fn hot_fns(ast: &Ast, info: &ScopeInfo) -> BTreeSet<NodeId> {
+    // Name -> fn node ids (duplicates possible across impl blocks).
+    let mut by_name: BTreeMap<&str, Vec<NodeId>> = BTreeMap::new();
+    for id in ast.walk() {
+        if let NodeKind::Fn { name, .. } = &ast.nodes[id].kind {
+            if !name.is_empty() {
+                by_name.entry(name.as_str()).or_default().push(id);
+            }
+        }
+    }
+    // Call sites that can resolve to a local fn: bare-path calls
+    // (`helper(..)`), explicit `Self::helper(..)`, and `self.method(..)`.
+    // A qualified path through any other type (`Vec::new(..)`,
+    // `Instant::now(..)`) names that type's associated fn — it must not
+    // mark a same-named local fn (usually a constructor `new`) hot.
+    let mut sites: Vec<(NodeId, &str)> = Vec::new();
+    for id in ast.walk() {
+        let callee = match &ast.nodes[id].kind {
+            NodeKind::Call { path } => match path.rsplit_once("::") {
+                None => path.as_str(),
+                Some(("Self", tail)) => tail,
+                Some(_) => continue,
+            },
+            NodeKind::MethodCall {
+                name,
+                recv: Recv::SelfDot,
+            } => name.as_str(),
+            _ => continue,
+        };
+        if by_name.contains_key(callee) {
+            sites.push((id, callee));
+        }
+    }
+    let mut hot: BTreeSet<NodeId> = BTreeSet::new();
+    loop {
+        let mut grew = false;
+        for (site, callee) in &sites {
+            let site_hot =
+                info.in_loop[*site] || info.encl_fn[*site].is_some_and(|f| hot.contains(&f));
+            if !site_hot {
+                continue;
+            }
+            for &f in &by_name[callee] {
+                grew |= hot.insert(f);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    hot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::lex;
+
+    fn scoped(src: &str) -> (crate::ast::Ast, ScopeInfo) {
+        let toks = lex(src);
+        let ast = parse(&toks);
+        ast.validate().expect("valid ast");
+        let info = ScopeInfo::build(&ast);
+        (ast, info)
+    }
+
+    /// Finds the call/macro node invoking `name`.
+    fn call_site(ast: &Ast, name: &str) -> NodeId {
+        ast.walk()
+            .find(|&id| match &ast.nodes[id].kind {
+                NodeKind::Call { path } => path == name,
+                NodeKind::MacroCall { name: n } => n == name,
+                NodeKind::MethodCall { name: n, .. } => n == name,
+                _ => false,
+            })
+            .unwrap_or_else(|| panic!("no call to {name}"))
+    }
+
+    #[test]
+    fn loop_bodies_count_and_for_headers_do_not() {
+        let (ast, info) = scoped(
+            "fn f(n: usize) {\n\
+             for i in header(n) { body(i); }\n\
+             while check(n) { work(); }\n\
+             before();\n\
+             }",
+        );
+        assert!(
+            !info.in_loop(call_site(&ast, "header")),
+            "for header runs once"
+        );
+        assert!(info.in_loop(call_site(&ast, "body")));
+        assert!(
+            info.in_loop(call_site(&ast, "check")),
+            "while header reruns"
+        );
+        assert!(info.in_loop(call_site(&ast, "work")));
+        assert!(!info.in_loop(call_site(&ast, "before")));
+    }
+
+    #[test]
+    fn closures_inherit_loop_context() {
+        let (ast, info) = scoped(
+            "fn f(v: &[u8]) { loop { v.iter().map(|x| heavy(x)).count(); } g(|| light()); }",
+        );
+        assert!(info.in_loop(call_site(&ast, "heavy")));
+        assert!(!info.in_loop(call_site(&ast, "light")));
+    }
+
+    #[test]
+    fn enclosing_fn_and_nested_items() {
+        let (ast, info) = scoped("fn outer() { fn inner() { deep(); } shallow(); }");
+        let outer = ast
+            .walk()
+            .find(|&id| matches!(&ast.nodes[id].kind, NodeKind::Fn { name, .. } if name == "outer"))
+            .unwrap();
+        let inner = ast
+            .walk()
+            .find(|&id| matches!(&ast.nodes[id].kind, NodeKind::Fn { name, .. } if name == "inner"))
+            .unwrap();
+        assert_eq!(info.enclosing_fn(call_site(&ast, "deep")), Some(inner));
+        assert_eq!(info.enclosing_fn(call_site(&ast, "shallow")), Some(outer));
+        assert_eq!(info.enclosing_fn(inner), Some(outer));
+    }
+
+    #[test]
+    fn nested_fn_does_not_inherit_loop_context() {
+        let (ast, info) = scoped("fn f() { loop { fn helper() { quiet(); } helper(); } }");
+        assert!(
+            !info.in_loop(call_site(&ast, "quiet")),
+            "fn body executes elsewhere"
+        );
+        // But helper IS hot: it is called from inside the loop.
+        assert!(info.in_hot_fn(call_site(&ast, "quiet")));
+    }
+
+    #[test]
+    fn hot_set_closes_transitively() {
+        let (ast, info) = scoped(
+            "impl S {\n\
+             fn run(&mut self) { while self.more() { self.step(); } self.report(); }\n\
+             fn step(&mut self) { self.fill(); }\n\
+             fn fill(&mut self) { alloc_here(); }\n\
+             fn report(&self) { alloc_there(); }\n\
+             }",
+        );
+        assert!(info.reachable_in_loop(call_site(&ast, "alloc_here")));
+        assert!(
+            !info.reachable_in_loop(call_site(&ast, "alloc_there")),
+            "report() is only called outside the loop"
+        );
+        // `more` is hot (while header reruns), so its body would be too.
+        assert!(info.in_loop(call_site(&ast, "more")));
+    }
+
+    #[test]
+    fn foreign_type_constructors_do_not_mark_local_new_hot() {
+        let (ast, info) = scoped(
+            "impl S {\n\
+             fn new() -> S { S { buf: ctor_alloc() } }\n\
+             fn run(&mut self) { loop { let v = Vec::new(); drop(v); } }\n\
+             fn reset(&mut self) { loop { Self::scrub(); } }\n\
+             fn scrub() { scrub_alloc(); }\n\
+             }",
+        );
+        assert!(
+            !info.reachable_in_loop(call_site(&ast, "ctor_alloc")),
+            "`Vec::new()` in a loop is std's, not the local constructor"
+        );
+        assert!(
+            info.reachable_in_loop(call_site(&ast, "scrub_alloc")),
+            "`Self::scrub()` resolves locally"
+        );
+    }
+
+    #[test]
+    fn free_fn_calls_seed_the_hot_set() {
+        let (ast, info) = scoped(
+            "fn driver(n: usize) { for _ in 0..n { helper(); } }\n\
+             fn helper() { inner_alloc(); }\n\
+             fn cold() { cold_alloc(); }",
+        );
+        assert!(info.reachable_in_loop(call_site(&ast, "inner_alloc")));
+        assert!(!info.reachable_in_loop(call_site(&ast, "cold_alloc")));
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: heap allocation reachable inside hot-path loops. Every
+//! allocating construct here is a `hot-alloc` finding when the file is
+//! scanned under a hot-path name.
+
+fn fill(lines: &[u64], n: usize) -> u64 {
+    let mut acc = 0u64;
+    for &line in lines {
+        let mut scratch = Vec::new(); // alloc-in-loop: Vec::new
+        scratch.push(line);
+        let key = format!("{line:x}"); // alloc-in-loop: format!
+        let copy = lines.to_vec(); // alloc-in-loop: to_vec
+        acc += scratch.len() as u64 + key.len() as u64 + copy.len() as u64;
+    }
+    let mut i = 0;
+    while i < n {
+        acc += helper(i); // makes `helper` hot
+        i += 1;
+    }
+    acc
+}
+
+fn helper(i: usize) -> u64 {
+    let s = String::from("hot"); // alloc-in-hot-fn: String::from
+    (s.len() + i) as u64
+}

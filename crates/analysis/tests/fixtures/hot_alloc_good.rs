@@ -1,0 +1,24 @@
+//! Fixture: the same shapes with buffers hoisted out of the loop and
+//! reused — clean under `hot-alloc`.
+
+fn fill(lines: &[u64], n: usize) -> u64 {
+    let mut scratch: Vec<u64> = Vec::with_capacity(lines.len());
+    let mut key = String::with_capacity(16);
+    let mut acc = 0u64;
+    for &line in lines {
+        scratch.clear();
+        scratch.push(line);
+        key.clear();
+        acc += scratch.len() as u64 + key.len() as u64;
+    }
+    let mut i = 0;
+    while i < n {
+        acc += helper(i);
+        i += 1;
+    }
+    acc
+}
+
+fn helper(i: usize) -> u64 {
+    (i + 1) as u64
+}

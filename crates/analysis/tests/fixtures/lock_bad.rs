@@ -1,0 +1,25 @@
+//! Fixture: the three lock-discipline hazards — a wait without a
+//! predicate re-check loop, a guard held across a blocking send, and
+//! an inconsistent two-mutex acquisition order.
+
+fn waits_without_recheck(m: &Mutex<bool>, cv: &Condvar) {
+    let started = m.lock().expect("poisoned");
+    let _woken = cv.wait(started).expect("wait"); // wait-outside-loop
+}
+
+fn sends_under_guard(m: &Mutex<u8>, tx: &Sender<u8>) {
+    let st = m.lock().expect("poisoned");
+    tx.send(*st).expect("send"); // guard-across-blocking-call
+}
+
+fn nests_ab(s: &Shared) {
+    let slots = s.slots.lock().unwrap();
+    let journal = s.journal.lock().unwrap();
+    use2(slots, journal);
+}
+
+fn nests_ba(s: &Shared) {
+    let journal = s.journal.lock().unwrap();
+    let slots = s.slots.lock().unwrap(); // lock-order-inversion
+    use2(slots, journal);
+}

@@ -1,0 +1,28 @@
+//! Fixture: the disciplined versions of the `lock_bad.rs` shapes —
+//! clean under `lock-discipline`.
+
+fn waits_with_recheck(m: &Mutex<bool>, cv: &Condvar) {
+    let mut started = m.lock().expect("poisoned");
+    while !*started {
+        started = cv.wait(started).expect("wait");
+    }
+}
+
+fn sends_after_release(m: &Mutex<u8>, tx: &Sender<u8>) {
+    let st = m.lock().expect("poisoned");
+    let v = *st;
+    drop(st);
+    tx.send(v).expect("send");
+}
+
+fn nests_consistently(s: &Shared) {
+    let slots = s.slots.lock().unwrap();
+    let journal = s.journal.lock().unwrap();
+    use2(slots, journal);
+}
+
+fn nests_consistently_again(s: &Shared) {
+    let slots = s.slots.lock().unwrap();
+    let journal = s.journal.lock().unwrap();
+    use2(slots, journal);
+}

@@ -1,0 +1,14 @@
+//! Fixture: `Result`s silently discarded in non-test code — each of
+//! the two `result-drop` shapes plus a local `-> Result` fn resolved
+//! by signature.
+
+fn persist(dst: &str) -> Result<(), std::io::Error> {
+    std::fs::rename("staging", dst)?;
+    Ok(())
+}
+
+fn f(tx: &Sender<u8>) {
+    tx.send(1); // discarded-result
+    let _ = tx.send(2); // underscore-bound-result
+    persist("out"); // discarded-result (local signature)
+}

@@ -1,0 +1,21 @@
+//! Fixture: every `Result` handled, propagated, or explicitly
+//! inspected — clean under `result-drop`.
+
+fn persist(dst: &str) -> Result<(), std::io::Error> {
+    std::fs::rename("staging", dst)?;
+    Ok(())
+}
+
+fn f(tx: &Sender<u8>) -> Result<(), SendError<u8>> {
+    tx.send(1)?;
+    let r = tx.send(2);
+    r?;
+    if tx.send(3).is_err() {
+        retry();
+    }
+    tx.send(4).ok();
+    persist("out")?;
+    Ok(())
+}
+
+fn retry() {}

@@ -1,0 +1,74 @@
+//! Detection liveness: a lint pass that silently stops firing is worse
+//! than no pass at all — the workspace looks clean while the invariant
+//! rots. Each registered pass therefore carries one canonical bad
+//! construct ([`fdip_analysis::mutate`]); splicing it into its target
+//! file (in memory only) must produce at least one *denying* finding
+//! from that pass that the real checked-in allowlist does not excuse.
+
+use std::path::{Path, PathBuf};
+
+use fdip_analysis::allow::Allowlist;
+use fdip_analysis::{lint_workspace_with, passes, ALLOWLIST_PATH};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn every_pass_fires_on_its_injected_mutation() {
+    let root = workspace_root();
+    let allow_text =
+        std::fs::read_to_string(root.join(ALLOWLIST_PATH)).expect("lint-allow.txt exists");
+    for pass in passes::registry() {
+        // Fresh allowlist per run: claims are stateful.
+        let mut allowlist = Allowlist::parse(&allow_text).expect("allowlist parses");
+        let outcome = lint_workspace_with(&root, &mut allowlist, Some(pass.id))
+            .unwrap_or_else(|e| panic!("linting with `{}` injected: {e}", pass.id));
+        let fired = outcome.denied().filter(|f| f.pass == pass.id).count();
+        assert!(
+            fired > 0,
+            "pass `{}` did not fire on its own injected mutation — it is dead",
+            pass.id
+        );
+        // The splice is synthetic and clearly named.
+        assert!(
+            outcome
+                .denied()
+                .filter(|f| f.pass == pass.id)
+                .any(|f| f.line > 0),
+            "mutation finding for `{}` lost its location",
+            pass.id
+        );
+    }
+}
+
+#[test]
+fn injection_is_memory_only() {
+    // Splicing must never touch the tree: lint the workspace with a
+    // mutation, then re-read the target file and confirm the marker is
+    // absent on disk.
+    let root = workspace_root();
+    let allow_text =
+        std::fs::read_to_string(root.join(ALLOWLIST_PATH)).expect("lint-allow.txt exists");
+    let m = fdip_analysis::mutate::for_pass("hot-alloc").expect("hot-alloc mutation exists");
+    let mut allowlist = Allowlist::parse(&allow_text).expect("allowlist parses");
+    lint_workspace_with(&root, &mut allowlist, Some("hot-alloc")).expect("workspace lints");
+    let on_disk = std::fs::read_to_string(root.join(m.file)).expect("target file reads");
+    assert!(
+        !on_disk.contains("__lint_mutation"),
+        "mutation splice leaked to disk in {}",
+        m.file
+    );
+}
+
+#[test]
+fn unknown_pass_injection_is_rejected() {
+    let root = workspace_root();
+    let mut allowlist = Allowlist::parse("").expect("empty allowlist parses");
+    let err = lint_workspace_with(&root, &mut allowlist, Some("no-such-pass"))
+        .expect_err("unknown pass must not lint");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}

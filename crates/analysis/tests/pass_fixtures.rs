@@ -6,7 +6,6 @@
 
 use std::path::Path;
 
-use fdip_analysis::lexer;
 use fdip_analysis::passes::{registry, PassCtx, SourceFile};
 use fdip_analysis::report::{Finding, Severity};
 
@@ -22,10 +21,7 @@ fn run_pass_on(pass_id: &str, path: &str, source: &str, metrics_doc: &str) -> Ve
         metrics_doc: metrics_doc.to_string(),
         serve_doc: String::new(),
     };
-    let src = SourceFile {
-        path: path.to_string(),
-        tokens: lexer::lex(source),
-    };
+    let src = SourceFile::new(path, source);
     let mut out = Vec::new();
     let passes = registry();
     let pass = passes
@@ -192,12 +188,109 @@ fn golden_diagnostic_rendering() {
     assert_eq!(
         rendered,
         vec![
-            "crates/exec/src/lib.rs:5:20: [atomics] error: Relaxed ordering on an executor \
+            "crates/exec/src/lib.rs:5:20: [atomics] error: Relaxed ordering on a cross-thread \
              atomic: anything guarding cross-thread hand-off needs Acquire/Release; a pure \
              telemetry tally may be allowlisted",
-            "crates/exec/src/lib.rs:6:20: [atomics] error: Relaxed ordering on an executor \
+            "crates/exec/src/lib.rs:6:20: [atomics] error: Relaxed ordering on a cross-thread \
              atomic: anything guarding cross-thread hand-off needs Acquire/Release; a pure \
              telemetry tally may be allowlisted",
         ]
     );
+}
+
+#[test]
+fn hot_alloc_fixture_flags_every_loop_reachable_allocation() {
+    let hits = run_pass_on(
+        "hot-alloc",
+        "crates/core/src/sim.rs",
+        &fixture("hot_alloc_bad.rs"),
+        "",
+    );
+    let found: Vec<(&str, &str)> = hits.iter().map(|f| (f.kind, f.needle.as_str())).collect();
+    assert_eq!(
+        found,
+        vec![
+            ("alloc-in-loop", "Vec::new"),
+            ("alloc-in-loop", "format!"),
+            ("alloc-in-loop", "to_vec"),
+            ("alloc-in-hot-fn", "String::from"),
+        ],
+        "{hits:?}"
+    );
+    assert!(hits.iter().all(|f| f.severity == Severity::Warn));
+}
+
+#[test]
+fn hot_alloc_fixture_clean_version_passes() {
+    let hits = run_pass_on(
+        "hot-alloc",
+        "crates/core/src/sim.rs",
+        &fixture("hot_alloc_good.rs"),
+        "",
+    );
+    assert!(hits.is_empty(), "clean fixture flagged: {hits:?}");
+}
+
+#[test]
+fn lock_fixture_flags_all_three_hazards() {
+    let hits = run_pass_on(
+        "lock-discipline",
+        "crates/serve/src/scheduler.rs",
+        &fixture("lock_bad.rs"),
+        "",
+    );
+    let kinds: Vec<&str> = hits.iter().map(|f| f.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            "wait-outside-loop",
+            "guard-across-blocking-call",
+            "lock-order-inversion"
+        ],
+        "{hits:?}"
+    );
+    // The inversion names both mutexes involved.
+    assert_eq!(hits[2].needle, "slots/journal");
+}
+
+#[test]
+fn lock_fixture_clean_version_passes() {
+    let hits = run_pass_on(
+        "lock-discipline",
+        "crates/serve/src/scheduler.rs",
+        &fixture("lock_good.rs"),
+        "",
+    );
+    assert!(hits.is_empty(), "clean fixture flagged: {hits:?}");
+}
+
+#[test]
+fn result_drop_fixture_flags_both_discard_shapes() {
+    let hits = run_pass_on(
+        "result-drop",
+        "crates/serve/src/lib.rs",
+        &fixture("result_drop_bad.rs"),
+        "",
+    );
+    let found: Vec<(&str, &str)> = hits.iter().map(|f| (f.kind, f.needle.as_str())).collect();
+    assert_eq!(
+        found,
+        vec![
+            ("discarded-result", "send"),
+            ("underscore-bound-result", "send"),
+            ("discarded-result", "persist"),
+        ],
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn result_drop_fixture_clean_version_passes() {
+    let hits = run_pass_on(
+        "result-drop",
+        "crates/serve/src/lib.rs",
+        &fixture("result_drop_good.rs"),
+        "",
+    );
+    assert!(hits.is_empty(), "clean fixture flagged: {hits:?}");
 }

@@ -34,7 +34,7 @@ fn workspace_is_lint_clean_under_deny() {
 }
 
 #[test]
-fn all_five_passes_are_registered() {
+fn all_eight_passes_are_registered() {
     let ids: Vec<&str> = fdip_analysis::passes::registry()
         .iter()
         .map(|p| p.id)
@@ -46,7 +46,10 @@ fn all_five_passes_are_registered() {
             "atomics",
             "panic-audit",
             "unsafe-forbid",
-            "schema-drift"
+            "schema-drift",
+            "hot-alloc",
+            "lock-discipline",
+            "result-drop"
         ]
     );
 }

@@ -587,16 +587,20 @@ impl<'p> Simulator<'p> {
     /// misses start fills immediately, decoupled from the decode queue
     /// (§IV-C).
     fn fill_stage(&mut self) {
-        let mut picked = Vec::with_capacity(2);
+        // At most two entries per cycle: a fixed pair keeps this
+        // per-cycle stage allocation-free.
+        let mut picked = [usize::MAX; 2];
+        let mut n = 0;
         for (idx, e) in self.ftq.iter().enumerate() {
             if e.fill == FillState::Waiting {
-                picked.push(idx);
-                if picked.len() == 2 {
+                picked[n] = idx;
+                n += 1;
+                if n == 2 {
                     break;
                 }
             }
         }
-        for idx in picked {
+        for idx in picked.into_iter().take(n) {
             let Some((line, was_head)) = self.ftq.get_mut(idx).map(|e| (e.line(), idx == 0)) else {
                 continue;
             };

@@ -23,6 +23,21 @@ grep -q '"schema_version"' "$tmp/lint.json"
 grep -q '"tool": "fdip-lint"' "$tmp/lint.json"
 echo "    lint clean under --deny, lint.json written"
 
+echo "==> fdip-lint detection liveness (--inject)"
+# A pass that silently stops firing would leave the gate above green
+# forever (docs/ANALYSIS.md "Detection liveness"). Splice each
+# syntax-aware pass's canonical bad construct into the tree in memory;
+# the linter must then exit nonzero. The full eight-pass matrix runs in
+# crates/analysis/tests/mutation_liveness.rs.
+for pass in hot-alloc lock-discipline result-drop; do
+  if cargo run -q --release --offline -p fdip-analysis --bin fdip-lint -- \
+      --deny --inject "$pass" > /dev/null 2>&1; then
+    echo "pass $pass did not fire on its injected mutation" >&2
+    exit 1
+  fi
+done
+echo "    injected mutations all caught"
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 

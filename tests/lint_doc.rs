@@ -5,8 +5,9 @@
 //! applies to the harness documents.
 
 use fdip_analysis::allow::Allowlist;
-use fdip_analysis::{lint_workspace, ALLOWLIST_PATH};
-use fdip_telemetry::{Json, SCHEMA_VERSION};
+use fdip_analysis::report::LINT_SCHEMA_VERSION;
+use fdip_analysis::{lint_workspace, passes, ALLOWLIST_PATH};
+use fdip_telemetry::Json;
 use std::collections::BTreeSet;
 use std::path::Path;
 
@@ -40,9 +41,12 @@ fn lint_json() -> Json {
 #[test]
 fn every_lint_json_field_is_documented() {
     let emitted = lint_json();
+    // Document 5 carries its own version, not the telemetry documents'
+    // global one; v2 introduced the per-finding `kind` field.
+    const _: () = assert!(LINT_SCHEMA_VERSION >= 2);
     assert_eq!(
         emitted.get("schema_version").and_then(Json::as_u64),
-        Some(SCHEMA_VERSION)
+        Some(LINT_SCHEMA_VERSION)
     );
     let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/METRICS.md"))
         .expect("docs/METRICS.md exists");
@@ -81,6 +85,9 @@ fn documented_lint_report_shape_is_emitted() {
         "panic-audit",
         "unsafe-forbid",
         "schema-drift",
+        "hot-alloc",
+        "lock-discipline",
+        "result-drop",
     ] {
         assert!(ids.contains(id), "pass rollup for {id} missing: {ids:?}");
     }
@@ -102,9 +109,65 @@ fn documented_lint_report_shape_is_emitted() {
         .and_then(|a| a.first())
     {
         for name in [
-            "pass", "file", "line", "col", "severity", "needle", "message",
+            "pass", "kind", "file", "line", "col", "severity", "needle", "message",
         ] {
             assert!(f.get(name).is_some(), "finding field {name} missing");
         }
+    }
+}
+
+#[test]
+fn diagnostic_kind_table_matches_the_registry_both_ways() {
+    // Document 5's "Diagnostic kinds" table and `passes::KINDS` are the
+    // same closed set: every registered kind must be documented as a
+    // `| pass | kind | ...` row, and every documented row must name a
+    // registered kind — renames fail in both directions.
+    let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/METRICS.md"))
+        .expect("docs/METRICS.md exists");
+    let documented: BTreeSet<(String, String)> = doc
+        .lines()
+        .filter_map(|l| {
+            let mut cells = l.split('|').map(str::trim);
+            cells.next()?; // leading empty cell
+            let pass = cells.next()?.strip_prefix('`')?.strip_suffix('`')?;
+            let kind = cells.next()?.strip_prefix('`')?.strip_suffix('`')?;
+            Some((pass.to_string(), kind.to_string()))
+        })
+        .filter(|(pass, _)| passes::registry().iter().any(|p| p.id == pass) || pass == "allowlist")
+        .collect();
+    let registered: BTreeSet<(String, String)> = passes::KINDS
+        .iter()
+        .map(|(pass, kind, _)| (pass.to_string(), kind.to_string()))
+        .collect();
+    assert!(registered.len() > 15, "implausibly few registered kinds");
+    let missing: Vec<_> = registered.difference(&documented).collect();
+    assert!(
+        missing.is_empty(),
+        "kinds emitted but not documented in docs/METRICS.md: {missing:?}"
+    );
+    let phantom: Vec<_> = documented.difference(&registered).collect();
+    assert!(
+        phantom.is_empty(),
+        "kinds documented but not registered in passes::KINDS: {phantom:?}"
+    );
+}
+
+#[test]
+fn every_emitted_finding_kind_is_registered() {
+    let emitted = lint_json();
+    let findings = emitted
+        .get("lint")
+        .and_then(|l| l.get("findings"))
+        .and_then(Json::as_arr)
+        .expect("findings array");
+    let registered: BTreeSet<(&str, &str)> =
+        passes::KINDS.iter().map(|(p, k, _)| (*p, *k)).collect();
+    for f in findings {
+        let pass = f.get("pass").and_then(Json::as_str).expect("pass");
+        let kind = f.get("kind").and_then(Json::as_str).expect("kind");
+        assert!(
+            registered.contains(&(pass, kind)),
+            "finding emitted with unregistered kind {pass}/{kind}"
+        );
     }
 }
